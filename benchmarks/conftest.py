@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Two studies back all benches:
+
+* ``bench_study`` -- a 2 %-scale, full-span (731-day) trace; shape
+  statistics (shares, CDFs, ratios) are scale-invariant.
+* ``dense_study`` -- a short-span trace with full-scale arrival *density*,
+  replayed through the discrete-event simulator; used by the experiments
+  whose statistics live at second/queueing timescales (Figures 3 and 7).
+
+Each bench prints its paper-vs-measured comparison; run with ``-s`` (or
+read the saved bench output) to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import ExperimentResult
+from repro.core.study import Study, StudyConfig
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def bench_study() -> Study:
+    """The standard benchmark study (scale 0.02, seed 42, 731 days)."""
+    return Study(StudyConfig(workload=WorkloadConfig(scale=0.02, seed=42)))
+
+
+@pytest.fixture(scope="session")
+def dense_study() -> Study:
+    """Full-density short-span study with DES-simulated latencies."""
+    return Study(StudyConfig.dense(scale=0.02, seed=42, days=14.62))
+
+
+def report(result: ExperimentResult, tolerance: float = None) -> None:
+    """Print the experiment output and optionally gate on tolerance."""
+    print()
+    print(result.render())
+    if tolerance is not None and result.comparison is not None:
+        worst = max(result.comparison.rows, key=lambda r: r.relative_error)
+        assert result.comparison.within(tolerance), (
+            f"{result.experiment_id}: worst row {worst.label!r} off by "
+            f"{worst.relative_error:.1%} (tolerance {tolerance:.0%})"
+        )

@@ -1,0 +1,29 @@
+"""F11 -- Figure 11: distribution of file sizes on the MSS."""
+
+from conftest import report
+
+from repro.analysis import static_distribution
+from repro.core.experiments import run_experiment
+from repro.util.units import MB
+
+
+def test_fig11_static_sizes(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("F11", bench_study), rounds=3, iterations=1
+    )
+    report(result)
+    comp = result.comparison
+    assert comp.within(0.15, labels=["files under 3 MB", "mean file size (MB)"])
+    # "these files contain 2% of the data" -- tiny either way.
+    assert comp.row("data in files under 3 MB").measured_value < 0.05
+
+
+def test_fig11_files_vs_data_gap(bench_study):
+    dist = static_distribution(bench_study.trace.namespace)
+    files = dist.files_cdf()
+    data = dist.data_cdf()
+    # The files curve leads the data curve everywhere below the cap.
+    for bound in (1 * MB, 3 * MB, 10 * MB, 50 * MB):
+        assert files.fraction_at_or_below(bound) > data.fraction_at_or_below(bound)
+    # Sub-1 MB files hold under 1 % of all data (Section 5.4).
+    assert dist.fraction_data_under(1 * MB) < 0.01

@@ -1,0 +1,36 @@
+"""F12 -- Figure 12: distribution of directory sizes."""
+
+from conftest import report
+
+from repro.analysis import directory_distribution
+from repro.core.experiments import run_experiment
+
+
+def test_fig12_directories(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("F12", bench_study), rounds=3, iterations=1
+    )
+    report(result)
+    comp = result.comparison
+    assert comp.within(
+        0.1, labels=["dirs with <= 1 file", "dirs with <= 10 files"]
+    )
+    # "over half of all files ... in directories that contained more than
+    # 100 files" -- within 25 %.
+    assert comp.row("files in dirs > 100 files").relative_error < 0.25
+    # The caption's "5 % hold 50 %" conflicts with the >100 claim (see
+    # EXPERIMENTS.md); we gate loosely.
+    assert comp.row("file share of top 5% dirs").measured_value > 0.45
+
+
+def test_fig12_data_follows_files(bench_study):
+    dist = directory_distribution(bench_study.trace.namespace)
+    files_cdf = dist.files_cdf()
+    data_cdf = dist.data_cdf()
+    # Figure 12: the files and data curves track each other closely.
+    for bound in (1, 10, 100):
+        gap = abs(
+            files_cdf.fraction_at_or_below(bound)
+            - data_cdf.fraction_at_or_below(bound)
+        )
+        assert gap < 0.2

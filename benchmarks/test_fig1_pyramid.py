@@ -1,0 +1,12 @@
+"""F1 -- Figure 1: the storage pyramid."""
+
+from conftest import report
+
+from repro.core.experiments import run_experiment
+
+
+def test_fig1_pyramid(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("F1", bench_study), rounds=5, iterations=1
+    )
+    report(result, tolerance=0.01)

@@ -1,0 +1,21 @@
+"""F2 -- Figure 2: the NCAR network topology."""
+
+from conftest import report
+
+from repro.core.experiments import run_experiment
+from repro.mss.network import ncar_topology
+
+
+def test_fig2_network(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("F2", bench_study), rounds=5, iterations=1
+    )
+    report(result, tolerance=0.01)
+
+
+def test_fig2_ldn_faster_than_masnet(benchmark):
+    topo = benchmark(ncar_topology)
+    direct = topo.path_bandwidth(["cray-ymp", "tape-silo"])
+    masnet = topo.path_bandwidth(["cray-ymp", "ibm-3090"])
+    # Section 3.1: the MASnet detour through 3090 memory is the slow path.
+    assert direct > 10 * masnet

@@ -1,0 +1,28 @@
+"""F9 -- Figure 9: intervals between successive references to one file."""
+
+from conftest import report
+
+from repro.analysis import file_interreference
+from repro.core.experiments import run_experiment
+from repro.util.units import DAY
+
+
+def test_fig9_file_interreference(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("F9", bench_study), rounds=1, iterations=1
+    )
+    report(result)
+    comp = result.comparison
+    # Known deviation (EXPERIMENTS.md): paper 70 % under a day, we land
+    # in the mid-50s because surviving same-direction references must sit
+    # in different 8-hour blocks.
+    assert comp.row("gaps under 1 day").measured_value > 0.45
+    assert comp.row("gaps beyond 100 days exist").measured_value == 1.0
+
+
+def test_fig9_tail_shape(bench_study):
+    analysis = file_interreference(list(bench_study.deduped_records()))
+    # Sharp drop-off after the first days, long tail past months.
+    assert analysis.fraction_below(3 * DAY) > 0.6
+    assert analysis.fraction_below(30 * DAY) > 0.8
+    assert analysis.fraction_below(300 * DAY) < 1.0

@@ -1,0 +1,41 @@
+"""T1 -- Table 1: optical disk vs linear vs helical tape."""
+
+from conftest import report
+
+from repro.analysis import crossover_size, measured_media_behaviour, time_to_last_byte
+from repro.core import paper
+from repro.core.experiments import run_experiment
+from repro.util.units import MB
+
+
+def test_table1_media(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("T1", bench_study), rounds=3, iterations=1
+    )
+    report(result)
+
+
+def test_table1_tradeoff_shape(benchmark):
+    """Tape wins time-to-last-byte for supercomputer-sized files; the
+    optical jukebox wins for database-style small accesses."""
+
+    def measure():
+        return {
+            spec.name: measured_media_behaviour(spec, file_size=80 * MB)
+            for spec in paper.TABLE1
+        }
+
+    measured = benchmark(measure)
+    optical_access, optical_rate = measured[paper.TABLE1_OPTICAL.name]
+    tape_access, tape_rate = measured[paper.TABLE1_HELICAL_TAPE.name]
+    print(f"\noptical: first byte {optical_access:.1f}s, {optical_rate:.2f} MB/s eff")
+    print(f"helical: first byte {tape_access:.1f}s, {tape_rate:.2f} MB/s eff")
+    print(f"crossover: {crossover_size() / MB:.1f} MB")
+    assert optical_access < tape_access            # optical reaches data first
+    assert tape_rate > 4 * optical_rate            # tape moves it far faster
+    assert time_to_last_byte(paper.TABLE1_HELICAL_TAPE, 80 * MB) < time_to_last_byte(
+        paper.TABLE1_OPTICAL, 80 * MB
+    )
+    # The crossover falls well below typical 25-80 MB supercomputer files,
+    # which is the paper's argument for tape.
+    assert crossover_size() < 25 * MB

@@ -1,0 +1,34 @@
+"""T3 -- Table 3: overall trace statistics (the paper's central table)."""
+
+from conftest import report
+
+from repro.core.experiments import run_experiment
+
+
+def test_table3_overall(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("T3", bench_study), rounds=1, iterations=1
+    )
+    report(result)
+    comp = result.comparison
+    # The central claims must hold tightly.
+    assert comp.within(
+        0.06,
+        labels=[
+            "read share of references",
+            "read share of GB",
+            "error fraction",
+            "Disk: share of refs",
+            "avg file size overall",
+        ],
+    )
+    assert comp.within(
+        0.12,
+        labels=[
+            "Tape (silo): share of refs",
+            "Tape (manual): share of refs",
+            "read:write ratio",
+        ],
+    )
+    # Size composition is looser (documented in EXPERIMENTS.md).
+    assert comp.within(0.5)

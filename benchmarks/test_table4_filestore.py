@@ -1,0 +1,19 @@
+"""T4 -- Table 4: the referenced file store."""
+
+from conftest import report
+
+from repro.core.experiments import run_experiment
+
+
+def test_table4_filestore(benchmark, bench_study):
+    result = benchmark.pedantic(
+        run_experiment, args=("T4", bench_study), rounds=3, iterations=1
+    )
+    report(result)
+    comp = result.comparison
+    assert comp.within(
+        0.05,
+        labels=["files (scaled)", "directories (scaled)", "largest directory (scaled)"],
+    )
+    assert comp.within(0.2, labels=["avg file size", "total data (scaled TB)"])
+    assert comp.row("max directory depth (bound)").measured_value <= 12

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The trace format in action: write, re-read, and measure compaction.
+
+Section 4 describes reducing 50 MB/month of system logs to 10-11 MB/month
+of trace by delta-encoding timestamps and eliding repeated users.  This
+script writes a synthetic month, shows sample lines, verifies a lossless
+(quantized) round-trip, and reports bytes per record.
+"""
+
+import os
+import tempfile
+
+from repro import WorkloadConfig, generate_trace
+from repro.trace.codec import quantize_record
+from repro.trace.reader import read_trace
+from repro.util.units import DAY
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        scale=0.02, seed=4, duration_seconds=30 * DAY
+    )
+    trace = generate_trace(config)
+    records = trace.records()
+    print(f"one synthetic month: {len(records)} MSS references")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "month.rt")
+        trace.write(path, comments={"month": "1991-06"})
+        size = os.path.getsize(path)
+        print(f"trace file: {size:,} bytes "
+              f"({size / len(records):.1f} bytes/record)\n")
+
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        print("header and first records:")
+        for line in lines[:8]:
+            print(f"  {line}")
+
+        back = read_trace(path)
+        assert len(back) == len(records)
+        mismatches = sum(
+            1
+            for original, decoded in zip(records, back)
+            if quantize_record(original).mss_path != decoded.mss_path
+            or quantize_record(original).file_size != decoded.file_size
+        )
+        print(f"\nround-trip: {len(back)} records restored, "
+              f"{mismatches} mismatches (quantized to format precision)")
+
+        elided = sum(1 for line in lines if line.endswith(" ="))
+        print(f"same-user elisions: {elided} of {len(records)} records "
+              f"({elided / len(records):.0%}) -- sessions keep one user")
+
+
+if __name__ == "__main__":
+    main()

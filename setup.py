@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on offline hosts where PEP 660
+editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

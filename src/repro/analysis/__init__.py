@@ -1,0 +1,105 @@
+"""Analyses that regenerate every table and figure in the paper."""
+
+from repro.analysis.compare import Comparison, ComparisonRow
+from repro.analysis.filestore import FilestoreStatistics, filestore_statistics
+from repro.analysis.intervals import (
+    IntervalAnalysis,
+    file_interreference,
+    fraction_of_file_gaps_under_one_day,
+    system_interarrivals,
+)
+from repro.analysis.latency import (
+    LatencyDistributions,
+    decomposition_comparison,
+    from_metrics,
+    latency_distributions,
+)
+from repro.analysis.overall import OverallStatistics, overall_statistics
+from repro.analysis.periodicity import (
+    PeriodicityReport,
+    analyze_direction,
+    periodicity_comparison,
+    rate_series,
+)
+from repro.analysis.rates import (
+    RateProfile,
+    holiday_read_dip,
+    hourly_profile,
+    read_growth_factor,
+    secular_series,
+    weekend_read_dip,
+    weekly_profile,
+    working_hours_lift,
+    write_flatness,
+)
+from repro.analysis.refcounts import ReferenceCounts, reference_counts
+from repro.analysis.render import TextTable, render_cdf, render_series
+from repro.analysis.sizes import (
+    DirectorySizeDistribution,
+    DynamicSizeDistribution,
+    StaticSizeDistribution,
+    directory_distribution,
+    dynamic_distribution,
+    static_distribution,
+)
+from repro.analysis.tables import (
+    PyramidLevel,
+    crossover_size,
+    measured_media_behaviour,
+    media_comparison_table,
+    pyramid_is_consistent,
+    pyramid_table,
+    storage_pyramid,
+    time_to_last_byte,
+    trace_format_table,
+)
+
+__all__ = [
+    "Comparison",
+    "ComparisonRow",
+    "DirectorySizeDistribution",
+    "DynamicSizeDistribution",
+    "FilestoreStatistics",
+    "IntervalAnalysis",
+    "LatencyDistributions",
+    "OverallStatistics",
+    "PeriodicityReport",
+    "PyramidLevel",
+    "RateProfile",
+    "ReferenceCounts",
+    "StaticSizeDistribution",
+    "TextTable",
+    "analyze_direction",
+    "crossover_size",
+    "decomposition_comparison",
+    "directory_distribution",
+    "dynamic_distribution",
+    "file_interreference",
+    "filestore_statistics",
+    "fraction_of_file_gaps_under_one_day",
+    "from_metrics",
+    "holiday_read_dip",
+    "hourly_profile",
+    "latency_distributions",
+    "measured_media_behaviour",
+    "media_comparison_table",
+    "overall_statistics",
+    "periodicity_comparison",
+    "pyramid_is_consistent",
+    "pyramid_table",
+    "rate_series",
+    "read_growth_factor",
+    "reference_counts",
+    "render_cdf",
+    "render_series",
+    "secular_series",
+    "static_distribution",
+    "storage_pyramid",
+    "system_interarrivals",
+    "time_to_last_byte",
+    "trace_format_table",
+    "weekend_read_dip",
+    "weekly_profile",
+    "working_hours_lift",
+    "write_flatness",
+]

@@ -1,0 +1,84 @@
+"""Paper-vs-measured comparison plumbing.
+
+Every bench emits a :class:`Comparison`: named rows pairing a published
+value with the measured one.  Shapes, shares and ratios are compared
+directly; absolute counts are compared after scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.render import TextTable
+from repro.util.stats import relative_error
+
+
+@dataclass
+class ComparisonRow:
+    """One measured-vs-published quantity."""
+
+    label: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / |paper|."""
+        return relative_error(self.measured_value, self.paper_value)
+
+
+@dataclass
+class Comparison:
+    """A named set of comparison rows (one per statistic)."""
+
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        paper_value: float,
+        measured_value: float,
+        unit: str = "",
+        note: str = "",
+    ) -> ComparisonRow:
+        """Append one row and return it."""
+        row = ComparisonRow(label, float(paper_value), float(measured_value), unit, note)
+        self.rows.append(row)
+        return row
+
+    def row(self, label: str) -> ComparisonRow:
+        """Find a row by label."""
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no comparison row {label!r}")
+
+    def max_relative_error(self) -> float:
+        """Worst row."""
+        if not self.rows:
+            return 0.0
+        return max(row.relative_error for row in self.rows)
+
+    def within(self, tolerance: float, labels: Optional[List[str]] = None) -> bool:
+        """True when all (or the named) rows are within the tolerance."""
+        rows = self.rows if labels is None else [self.row(l) for l in labels]
+        return all(row.relative_error <= tolerance for row in rows)
+
+    def render(self) -> str:
+        """Readable paper-vs-measured table."""
+        table = TextTable(
+            ["statistic", "paper", "measured", "rel.err", "note"], title=self.title
+        )
+        for row in self.rows:
+            table.add_row(
+                f"{row.label}{f' [{row.unit}]' if row.unit else ''}",
+                f"{row.paper_value:,.4g}",
+                f"{row.measured_value:,.4g}",
+                f"{row.relative_error * 100:.1f}%",
+                row.note,
+            )
+        return table.render()

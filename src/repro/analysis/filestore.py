@@ -1,0 +1,72 @@
+"""Table 4: the referenced file store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.compare import Comparison
+from repro.analysis.render import TextTable
+from repro.core import paper
+from repro.namespace.model import Namespace
+from repro.util.units import bytes_to_mb
+
+
+@dataclass
+class FilestoreStatistics:
+    """Table 4 for one namespace, with the generation scale for count
+    comparisons."""
+
+    namespace: Namespace
+    scale: float = 1.0
+
+    def render(self) -> str:
+        """The Table 4 layout as text."""
+        ns = self.namespace
+        table = TextTable(["statistic", "value"], title="Table 4: file store (measured)")
+        table.add_row("Number of files", ns.file_count)
+        table.add_row("Average file size (MB)", bytes_to_mb(ns.average_file_size))
+        table.add_row("Number of directories", ns.directory_count)
+        table.add_row("Largest directory (files)", ns.largest_directory_file_count)
+        table.add_row("Maximum directory depth", ns.max_depth)
+        table.add_row("Total data (TB)", ns.total_bytes / 1e12)
+        return table.render()
+
+    def comparison(self) -> Comparison:
+        """Paper-vs-measured; counts are scaled back to full size."""
+        ns = self.namespace
+        inv = 1.0 / self.scale
+        comp = Comparison("Table 4 (file store)")
+        comp.add("files (scaled)", paper.FILE_COUNT, ns.file_count * inv)
+        comp.add(
+            "avg file size",
+            bytes_to_mb(paper.AVERAGE_FILE_SIZE_BYTES),
+            bytes_to_mb(ns.average_file_size),
+            unit="MB",
+        )
+        comp.add(
+            "directories (scaled)", paper.DIRECTORY_COUNT, ns.directory_count * inv
+        )
+        comp.add(
+            "largest directory (scaled)",
+            paper.LARGEST_DIRECTORY_FILES,
+            ns.largest_directory_file_count * inv,
+        )
+        comp.add(
+            "total data (scaled TB)",
+            paper.TOTAL_MSS_BYTES / 1e12,
+            ns.total_bytes * inv / 1e12,
+        )
+        comp.add(
+            "max directory depth (bound)",
+            paper.MAX_DIRECTORY_DEPTH,
+            ns.max_depth,
+            note="<= 12 at any scale; = 12 at full scale",
+        )
+        return comp
+
+
+def filestore_statistics(namespace: Namespace, scale: float = 1.0) -> FilestoreStatistics:
+    """Table 4 from a namespace."""
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    return FilestoreStatistics(namespace=namespace, scale=scale)

@@ -1,0 +1,198 @@
+"""Figures 4-6: transfer-rate profiles by hour, weekday, and week.
+
+All three figures plot average data rate (GB per hour) for reads, writes
+and their total, binned three different ways.  The writes-flat /
+reads-periodic contrast is the paper's core observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.render import render_series
+from repro.trace.record import TraceRecord
+from repro.util.timeutil import DAY_NAMES, TraceCalendar
+from repro.util.units import DAY, HOUR, WEEK, bytes_to_gb
+
+
+@dataclass
+class RateProfile:
+    """GB/hour for reads and writes across a set of bins."""
+
+    bin_labels: List[str]
+    read_gb_per_hour: np.ndarray
+    write_gb_per_hour: np.ndarray
+
+    @property
+    def total_gb_per_hour(self) -> np.ndarray:
+        """Reads + writes."""
+        return self.read_gb_per_hour + self.write_gb_per_hour
+
+    def read_peak_to_trough(self) -> float:
+        """How strongly reads swing across the bins."""
+        low = self.read_gb_per_hour.min()
+        return float(self.read_gb_per_hour.max() / max(low, 1e-12))
+
+    def write_peak_to_trough(self) -> float:
+        """How strongly writes swing (should stay near 1)."""
+        low = self.write_gb_per_hour.min()
+        return float(self.write_gb_per_hour.max() / max(low, 1e-12))
+
+    def render(self, title: str) -> str:
+        """ASCII chart in the style of the paper's figures."""
+        xs = list(range(len(self.bin_labels)))
+        return render_series(
+            xs,
+            [
+                ("reads", self.read_gb_per_hour.tolist()),
+                ("writes", self.write_gb_per_hour.tolist()),
+                ("total", self.total_gb_per_hour.tolist()),
+            ],
+            title=title,
+            y_label="(bins: " + ", ".join(self.bin_labels[:8]) + " ...)",
+        )
+
+
+def _accumulate(
+    records: Iterable[TraceRecord],
+    bin_of: "callable",
+    n_bins: int,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Sum bytes per bin for reads and writes; also returns the span."""
+    read_bytes = np.zeros(n_bins)
+    write_bytes = np.zeros(n_bins)
+    first = None
+    last = None
+    for record in records:
+        if record.is_error:
+            continue
+        if first is None:
+            first = record.start_time
+        last = record.start_time
+        idx = bin_of(record.start_time)
+        if record.is_write:
+            write_bytes[idx] += record.file_size
+        else:
+            read_bytes[idx] += record.file_size
+    if first is None or last is None or last <= first:
+        raise ValueError("need a non-degenerate record stream")
+    return read_bytes, write_bytes, last - first
+
+
+def hourly_profile(records: Iterable[TraceRecord]) -> RateProfile:
+    """Figure 4: average GB/hour by hour of day (0 = midnight)."""
+    read_bytes, write_bytes, span = _accumulate(
+        records, lambda t: int((t % DAY) // HOUR), 24
+    )
+    # Each hour-of-day bin collects one hour per traced day.
+    hours_per_bin = max(span / DAY, 1.0)
+    return RateProfile(
+        bin_labels=[f"{h:02d}" for h in range(24)],
+        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_bin,
+        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_bin,
+    )
+
+
+def weekly_profile(records: Iterable[TraceRecord]) -> RateProfile:
+    """Figure 5: average GB/hour by day of week (0 = Sunday)."""
+    calendar = TraceCalendar()
+    read_bytes, write_bytes, span = _accumulate(
+        records, calendar.day_of_week, 7
+    )
+    hours_per_bin = max(span / WEEK, 1.0) * 24.0
+    return RateProfile(
+        bin_labels=list(DAY_NAMES),
+        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_bin,
+        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_bin,
+    )
+
+
+def secular_series(
+    records: Iterable[TraceRecord], n_weeks: int = 104
+) -> RateProfile:
+    """Figure 6: average GB/hour for each trace week."""
+    read_bytes, write_bytes, _ = _accumulate(
+        records,
+        lambda t: min(int(t // WEEK), n_weeks - 1),
+        n_weeks,
+    )
+    hours_per_week = WEEK / HOUR
+    return RateProfile(
+        bin_labels=[f"w{w}" for w in range(n_weeks)],
+        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_week,
+        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_week,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shape checks used by benches and tests
+
+
+def working_hours_lift(profile: RateProfile) -> float:
+    """Read rate in 9-17 h over the 0-6 h small hours (Figure 4 shape)."""
+    reads = profile.read_gb_per_hour
+    if len(reads) != 24:
+        raise ValueError("expects the hourly profile")
+    return float(reads[9:17].mean() / max(reads[0:6].mean(), 1e-12))
+
+
+def weekend_read_dip(profile: RateProfile) -> float:
+    """Weekend / weekday read rate (Figure 5 shape; below 1)."""
+    reads = profile.read_gb_per_hour
+    if len(reads) != 7:
+        raise ValueError("expects the weekly profile")
+    weekend = (reads[0] + reads[6]) / 2.0
+    return float(weekend / max(reads[1:6].mean(), 1e-12))
+
+
+def read_growth_factor(profile: RateProfile) -> float:
+    """Last-quarter over first-quarter read rate (Figure 6 growth)."""
+    reads = profile.read_gb_per_hour
+    quarter = max(len(reads) // 4, 1)
+    return float(reads[-quarter:].mean() / max(reads[:quarter].mean(), 1e-12))
+
+
+def write_flatness(profile: RateProfile) -> float:
+    """Coefficient of variation of writes across bins (small = flat)."""
+    writes = profile.write_gb_per_hour
+    return float(writes.std() / max(writes.mean(), 1e-12))
+
+
+def holiday_read_dip(
+    profile: RateProfile, holiday_weeks: List[int]
+) -> float:
+    """Holiday-week read rate over nearby non-holiday weeks (Figure 6).
+
+    Holiday weeks cluster (Christmas through New Year), so each one is
+    compared against the nearest week on each side that is *not* itself a
+    holiday week.
+    """
+    reads = profile.read_gb_per_hour
+    holidays = set(holiday_weeks)
+    n = len(reads)
+
+    def nearest_normal(week: int, step: int) -> Optional[float]:
+        probe = week + step
+        while 0 <= probe < n:
+            if probe not in holidays:
+                return float(reads[probe])
+            probe += step
+        return None
+
+    ratios = []
+    for week in holiday_weeks:
+        if not 0 <= week < n:
+            continue
+        neighbours = [
+            value
+            for value in (nearest_normal(week, -1), nearest_normal(week, +1))
+            if value is not None
+        ]
+        if neighbours and np.mean(neighbours) > 0:
+            ratios.append(reads[week] / np.mean(neighbours))
+    if not ratios:
+        raise ValueError("no in-range holiday weeks")
+    return float(np.mean(ratios))

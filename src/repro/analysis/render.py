@@ -1,0 +1,132 @@
+"""Plain-text rendering: tables and CDF plots for terminal output.
+
+The benches print the paper's tables and figures as ASCII; nothing here
+depends on plotting libraries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.stats import CDF
+
+
+class TextTable:
+    """A fixed-column table rendered with aligned ASCII."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are stringified (floats get 2 decimals)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:,.2f}")
+            elif isinstance(cell, int):
+                rendered.append(f"{cell:,}")
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def render_cdf(
+    cdf: CDF,
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    x_label: str = "",
+    title: str = "",
+    x_limits: Optional[Tuple[float, float]] = None,
+) -> str:
+    """An ASCII rendering of a CDF, in the spirit of the paper's figures."""
+    if x_limits is None:
+        lo, hi = float(cdf.values[0]), float(cdf.values[-1])
+    else:
+        lo, hi = x_limits
+    if log_x:
+        lo = max(lo, 1e-9)
+        xs = np.logspace(np.log10(lo), np.log10(max(hi, lo * 10)), width)
+    else:
+        xs = np.linspace(lo, max(hi, lo + 1), width)
+    fractions = np.array([cdf.fraction_at_or_below(x) for x in xs])
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = level / height
+        line = "".join("#" if f >= threshold else " " for f in fractions)
+        axis = f"{threshold * 100:3.0f}%|"
+        rows.append(axis + line)
+    rows.append("    +" + "-" * width)
+    label = f"    {lo:.3g} .. {hi:.3g}"
+    if x_label:
+        label += f" ({x_label}{', log scale' if log_x else ''})"
+    rows.append(label)
+    if title:
+        rows.insert(0, title)
+    return "\n".join(rows)
+
+
+def render_series(
+    xs: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """ASCII line chart for rate profiles (Figures 4-6).
+
+    Each named series gets a marker character; values are normalized to
+    the global maximum.
+    """
+    markers = "*o+x#@"
+    all_values = [v for _, values in series for v in values]
+    peak = max(all_values) if all_values else 1.0
+    peak = peak if peak > 0 else 1.0
+    n = len(xs)
+    columns = [int(i * (width - 1) / max(n - 1, 1)) for i in range(n)]
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_, values) in enumerate(series):
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(values):
+            row = int(round((value / peak) * (height - 1)))
+            grid[height - 1 - row][columns[i]] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, (name, _) in enumerate(series)
+    )
+    lines.append(legend)
+    for r, row in enumerate(grid):
+        prefix = f"{peak:8.2f}|" if r == 0 else " " * 8 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"        x: {xs[0]:g} .. {xs[-1]:g} {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Tables 1-2 and Figures 1-2: the specification-level artifacts.
+
+* Table 1 compares optical disk, linear tape and helical-scan tape; we
+  reproduce it from the spec constants and *measure* access latency and
+  transfer rate on simulated devices built to those specs.
+* Table 2 is the trace-record format; reproduced from the codec.
+* Figure 1 is the storage pyramid; we verify its monotonicity (cost/GB
+  falls and latency rises toward the base).
+* Figure 2 is the network topology, backed by :mod:`repro.mss.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.render import TextTable
+from repro.core import paper
+from repro.util.units import GB, MB, bytes_to_mb
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+
+
+def media_comparison_table() -> TextTable:
+    """Table 1 as published."""
+    table = TextTable(
+        ["category"] + [spec.name for spec in paper.TABLE1],
+        title="Table 1: optical disk vs tape",
+    )
+    table.add_row(
+        "Media capacity (GB)",
+        *(f"{spec.capacity_bytes / GB:g}" for spec in paper.TABLE1),
+    )
+    table.add_row(
+        "Random access (s)",
+        *(f"{spec.random_access_seconds:g}" for spec in paper.TABLE1),
+    )
+    table.add_row(
+        "Transfer rate (MB/s)",
+        *(f"{spec.transfer_rate_bytes_per_s / MB:g}" for spec in paper.TABLE1),
+    )
+    table.add_row(
+        "Media cost/GB ($)",
+        *(f"{spec.cost_per_gb_dollars:g}" for spec in paper.TABLE1),
+    )
+    return table
+
+
+def measured_media_behaviour(
+    spec: paper.MediaSpec, file_size: int = 80 * MB, n_trials: int = 200, seed: int = 0
+) -> Tuple[float, float]:
+    """(mean seconds to first byte, effective MB/s) for one medium.
+
+    Builds a toy device from the spec -- random access uniform around the
+    quoted figure, transfer at the quoted rate -- and measures whole-file
+    fetches, reproducing Table 1's derived trade-off: optical disk wins
+    time-to-first-byte, tape wins time-to-last-byte for large files.
+    """
+    rng = np.random.default_rng(seed)
+    access = rng.uniform(
+        0.5 * spec.random_access_seconds, 1.5 * spec.random_access_seconds, n_trials
+    )
+    transfer = file_size / spec.transfer_rate_bytes_per_s
+    total = access + transfer
+    return float(access.mean()), float(bytes_to_mb(file_size) / total.mean())
+
+
+def time_to_last_byte(spec: paper.MediaSpec, file_size: int) -> float:
+    """Expected seconds to fetch a whole file from one medium."""
+    return spec.random_access_seconds + file_size / spec.transfer_rate_bytes_per_s
+
+
+def crossover_size() -> int:
+    """File size where helical tape beats the optical jukebox end-to-end.
+
+    The paper argues supercomputer files are large enough that tape's
+    bandwidth beats optical's fast access; this returns the break-even
+    size in bytes.
+    """
+    optical = paper.TABLE1_OPTICAL
+    tape = paper.TABLE1_HELICAL_TAPE
+    # access_o + s / rate_o = access_t + s / rate_t  ->  solve for s
+    rate_delta = 1.0 / optical.transfer_rate_bytes_per_s - 1.0 / tape.transfer_rate_bytes_per_s
+    access_delta = tape.random_access_seconds - optical.random_access_seconds
+    if rate_delta <= 0:
+        raise ValueError("optical must be slower per byte for a crossover")
+    return int(access_delta / rate_delta)
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+
+
+def trace_format_table() -> TextTable:
+    """Table 2: the fields of one trace record."""
+    table = TextTable(["field", "meaning"], title="Table 2: trace record format")
+    rows = (
+        ("source", "Device the data came from"),
+        ("destination", "Device the data is going to"),
+        ("flags", "Read/write, error information, compression information"),
+        ("start time", "Seconds since the previous record's start time"),
+        ("startup latency", "Seconds until the transfer started"),
+        ("transfer time", "Milliseconds moving the data"),
+        ("file size", "File size in bytes"),
+        ("MSS file name", "File name on the MSS"),
+        ("local file name", "File name on the computer"),
+        ("user ID", "User who made the request"),
+    )
+    for field, meaning in rows:
+        table.add_row(field, meaning)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+
+
+@dataclass(frozen=True)
+class PyramidLevel:
+    """One level of the storage pyramid."""
+
+    name: str
+    typical_latency_seconds: float
+    cost_per_gb_dollars: float
+    typical_capacity_bytes: float
+
+
+def storage_pyramid() -> List[PyramidLevel]:
+    """Figure 1's levels, top (fastest, priciest) to bottom."""
+    return [
+        PyramidLevel("cpu cache", 2e-8, 1e6, 1e6),
+        PyramidLevel("main memory", 2e-7, 6e4, 512e6),
+        PyramidLevel("solid state disk", 1e-4, 8e3, 1e9),
+        PyramidLevel("magnetic disk", 2e-2, 2e3, 1e11),
+        PyramidLevel("robotic tape/optical", 10.0, 25.0, 1.2e12),
+        PyramidLevel("shelf tape/optical", 120.0, 2.0, 2.5e13),
+    ]
+
+
+def pyramid_is_consistent(levels: List[PyramidLevel]) -> bool:
+    """Latency and capacity rise, cost falls, toward the base."""
+    for above, below in zip(levels, levels[1:]):
+        if not (
+            above.typical_latency_seconds < below.typical_latency_seconds
+            and above.cost_per_gb_dollars > below.cost_per_gb_dollars
+            and above.typical_capacity_bytes < below.typical_capacity_bytes
+        ):
+            return False
+    return True
+
+
+def pyramid_table() -> TextTable:
+    """Figure 1 rendered as a table."""
+    table = TextTable(
+        ["level", "latency (s)", "$/GB", "capacity (GB)"],
+        title="Figure 1: the storage pyramid",
+    )
+    for level in storage_pyramid():
+        table.add_row(
+            level.name,
+            f"{level.typical_latency_seconds:g}",
+            f"{level.cost_per_gb_dollars:g}",
+            f"{level.typical_capacity_bytes / GB:g}",
+        )
+    return table

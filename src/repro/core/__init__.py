@@ -1,0 +1,10 @@
+"""Orchestration: published paper values, the study pipeline, and the CLI.
+
+Importing the submodules lazily where needed avoids a cycle: ``paper`` is
+imported by low-level packages (trace, workload), while ``study`` and
+``experiments`` sit on top of everything.
+"""
+
+from repro.core import paper  # noqa: F401
+
+__all__ = ["paper"]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``repro-mss`` / ``python -m repro``.
+
+Subcommands::
+
+    generate   synthesize a trace file
+    analyze    print Table 3 / Table 4 for a trace file
+    replay     push a trace file through the MSS simulator
+    policies   compare migration policies on a synthetic workload
+    report     run the full experiment suite and print every comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.units import DAY
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="fraction of the full NCAR population (default 0.01)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--days", type=float, default=None,
+                        help="trace duration in days (default: the full 731)")
+
+
+def _workload_config(args: argparse.Namespace):
+    from repro.workload.config import WorkloadConfig
+
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.days is not None:
+        kwargs["duration_seconds"] = args.days * DAY
+    return WorkloadConfig(**kwargs)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workload.generator import generate_trace
+
+    trace = generate_trace(_workload_config(args))
+    count = trace.write(args.output)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import overall_statistics
+    from repro.trace.reader import TraceReader
+
+    with TraceReader(args.trace) as reader:
+        analysis = overall_statistics(reader)
+    print(analysis.render())
+    print()
+    print(analysis.comparison().render())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.mss.system import MSSConfig, replay_trace
+    from repro.trace.reader import read_trace
+
+    records = read_trace(args.trace)
+    _, metrics = replay_trace(records, MSSConfig(seed=args.seed))
+    for name, row in metrics.summary().items():
+        print(
+            f"{name:12s} n={int(row['count']):8d} startup={row['startup_mean']:8.1f}s "
+            f"(queue {row['device_queue_mean']:6.1f}s, mount {row['mount_mean']:6.1f}s, "
+            f"seek {row['seek_mean']:5.1f}s)"
+        )
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro.hsm import events_from_trace, run_policy
+    from repro.workload.generator import generate_trace
+
+    trace = generate_trace(_workload_config(args))
+    events = events_from_trace(trace)
+    capacity = int(trace.namespace.total_bytes * args.capacity_fraction)
+    print(
+        f"{len(events)} deduped references, cache = "
+        f"{args.capacity_fraction:.1%} of {trace.namespace.total_bytes / 1e9:.1f} GB"
+    )
+    for name in args.policy:
+        metrics = run_policy(events, name, capacity, namespace=trace.namespace)
+        print(
+            f"{name:15s} miss={metrics.read_miss_ratio:.4f} "
+            f"capacity-miss={metrics.capacity_miss_ratio:.4f} "
+            f"person-min/day={metrics.person_minutes_per_day():.2f}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.experiments import (
+        experiment_ids,
+        needs_dense_study,
+        run_experiment,
+    )
+    from repro.core.study import Study, StudyConfig
+
+    base = Study(StudyConfig(workload=_workload_config(args)))
+    dense = Study(StudyConfig.dense(scale=min(args.scale * 2, 0.05), seed=args.seed))
+    for exp_id in experiment_ids():
+        study = dense if needs_dense_study(exp_id) else base
+        result = run_experiment(exp_id, study)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mss",
+        description="Reproduction of Miller & Katz 1993: NCAR MSS file migration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a trace file")
+    _add_scale_args(p)
+    p.add_argument("output", help="trace file to write")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("analyze", help="Table 3/4 for a trace file")
+    p.add_argument("trace", help="trace file to read")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("replay", help="simulate a trace on the MSS")
+    p.add_argument("trace", help="trace file to read")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("policies", help="compare migration policies")
+    _add_scale_args(p)
+    p.add_argument("--capacity-fraction", type=float, default=0.015)
+    p.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        help="policy name (repeatable); default: the full set",
+    )
+    p.set_defaults(func=_cmd_policies)
+
+    p = sub.add_parser("report", help="run every experiment")
+    _add_scale_args(p)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "policy", "missing") is None:
+        args.policy = ["opt", "stp", "lru", "saac", "fifo", "random", "largest-first"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

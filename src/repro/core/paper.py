@@ -1,0 +1,211 @@
+"""Published values from Miller & Katz (1993), used as calibration targets.
+
+Every number here is transcribed from the paper's tables, figures, or prose
+(section references in comments).  The analysis benchmarks print these next
+to measured values; the workload generator is calibrated against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.trace.record import Device
+from repro.util.units import GB, MB, TB
+
+# ---------------------------------------------------------------------------
+# Section 5.1 / Table 3 -- overall trace statistics
+
+#: Raw references in the two-year trace, before error filtering.
+RAW_REFERENCES = 3_688_817
+#: References that carried errors ("most common ... non-existence of a
+#: requested file").
+ERROR_REFERENCES = 175_633
+#: Fraction of raw references with errors (the paper rounds to 4.76 %).
+ERROR_FRACTION = ERROR_REFERENCES / RAW_REFERENCES
+#: Successful references analyzed in Table 3.
+ANALYZED_REFERENCES = 3_515_794
+
+#: Trace span (Section 5.2.1: "a period of 731 days").
+TRACE_SPAN_DAYS = 731
+
+#: Mean interval between MSS requests (Section 5.2.1).
+MEAN_SYSTEM_INTERARRIVAL_SECONDS = 18.0
+#: Figure 7: "90% of all references followed another by less than 10 s".
+SYSTEM_INTERARRIVAL_P90_BOUND_SECONDS = 10.0
+SYSTEM_INTERARRIVAL_FRACTION_UNDER_10S = 0.90
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    """One (device, direction) cell of Table 3."""
+
+    references: int
+    gb_transferred: float
+    avg_file_size_mb: float
+    secs_to_first_byte: float
+
+
+#: Table 3, keyed by (device, is_write).  ``None`` device = all devices.
+TABLE3: Dict[Tuple[object, bool], Table3Cell] = {
+    (Device.MSS_DISK, False): Table3Cell(1_419_280, 5_080.4, 3.58, 32.47),
+    (Device.MSS_DISK, True): Table3Cell(927_722, 3_727.9, 4.02, 25.39),
+    (Device.TAPE_SILO, False): Table3Cell(480_545, 38_256.6, 79.61, 115.14),
+    (Device.TAPE_SILO, True): Table3Cell(239_162, 19_081.4, 79.78, 81.86),
+    (Device.TAPE_SHELF, False): Table3Cell(436_922, 20_589.2, 47.12, 292.58),
+    (Device.TAPE_SHELF, True): Table3Cell(12_163, 580.6, 47.74, 203.84),
+    (None, False): Table3Cell(2_336_747, 63_926.2, 27.36, 98.10),
+    (None, True): Table3Cell(1_179_047, 23_389.9, 19.84, 38.60),
+}
+
+#: Table 3 totals row/column.
+TABLE3_TOTAL = Table3Cell(3_515_794, 87_316.2, 24.84, 78.18)
+
+#: Device totals (reads + writes), derived from Table 3.
+TABLE3_DEVICE_TOTALS: Dict[Device, Table3Cell] = {
+    Device.MSS_DISK: Table3Cell(2_347_002, 8_808.3, 3.75, 29.67),
+    Device.TAPE_SILO: Table3Cell(719_707, 57_338.1, 79.67, 104.08),
+    Device.TAPE_SHELF: Table3Cell(449_085, 21_169.8, 47.14, 290.18),
+}
+
+#: Reference share of each storage level (fraction of analyzed refs).
+DEVICE_REFERENCE_SHARES: Dict[Device, float] = {
+    device: cell.references / ANALYZED_REFERENCES
+    for device, cell in TABLE3_DEVICE_TOTALS.items()
+}
+
+#: Read fraction of analyzed references ("read/write ratio ... is 2:1").
+READ_FRACTION = TABLE3[(None, False)].references / ANALYZED_REFERENCES
+READ_WRITE_RATIO = (
+    TABLE3[(None, False)].references / TABLE3[(None, True)].references
+)
+
+# ---------------------------------------------------------------------------
+# Table 4 -- the referenced file store
+
+FILE_COUNT = 900_000                 # "over 900,000 files" (Sections 2.3, 7)
+AVERAGE_FILE_SIZE_BYTES = 25 * MB    # Table 4
+DIRECTORY_COUNT = 143_245            # Table 4
+LARGEST_DIRECTORY_FILES = 24_926     # Table 4
+MAX_DIRECTORY_DEPTH = 12             # Table 4
+TOTAL_MSS_BYTES = 23 * TB            # Table 4
+
+# ---------------------------------------------------------------------------
+# Table 1 -- media comparison
+
+
+@dataclass(frozen=True)
+class MediaSpec:
+    """One column of Table 1."""
+
+    name: str
+    capacity_bytes: int
+    random_access_seconds: float
+    transfer_rate_bytes_per_s: float
+    cost_per_gb_dollars: float
+
+
+TABLE1_OPTICAL = MediaSpec("Optical Disk Jukebox", int(1.2 * GB), 7.0, int(0.25 * MB), 80.0)
+TABLE1_LINEAR_TAPE = MediaSpec("Linear Tape (IBM 3490)", int(0.4 * GB), 13.0, 6 * MB, 25.0)
+TABLE1_HELICAL_TAPE = MediaSpec("Helical-Scan Tape (Ampex D-2)", 25 * GB, 60.0, 15 * MB, 2.0)
+TABLE1 = (TABLE1_OPTICAL, TABLE1_LINEAR_TAPE, TABLE1_HELICAL_TAPE)
+
+# ---------------------------------------------------------------------------
+# Section 3 -- NCAR system configuration
+
+CRAY_LOCAL_DISK_BYTES = 56 * GB          # "about 56 GB of disks"
+CRAY_SCRATCH_BYTES = 47 * GB             # scratch, purged regularly
+MSS_ONLINE_DISK_BYTES = 100 * GB         # IBM 3380s on the 3090
+SILO_CARTRIDGES = 6_000                  # StorageTek 4400
+CARTRIDGE_CAPACITY_BYTES = 200 * MB      # IBM 3480-style
+SHELF_TAPE_BYTES = 25 * TB               # "approximately 25 TB ... shelved"
+NFS_MOUNTED_BYTES = int(5.5 * GB)
+USER_COUNT = 4_000                       # "each of the 4,000 users"
+USER_HOME_QUOTA_BYTES = 1 * MB           # "the 1 MB allocated for a ... home"
+
+# ---------------------------------------------------------------------------
+# Section 5.1.1 -- latency decomposition (all in seconds)
+
+DISK_MEDIAN_LATENCY = 4.0          # "median access time for the disk was 4 s"
+DISK_AVG_QUEUEING = 25.0           # "average queueing time for the disk ... 25 s"
+SILO_PICK_AND_MOUNT = 10.0         # "can pick and mount a tape in under 10 s"
+SILO_NONSEEK_OVERHEAD = 35.0       # derived in the paper
+TAPE_AVG_ACCESS = 85.0             # "tape accesses take 85 seconds on average"
+TAPE_AVG_SEEK = 50.0               # derived: 85 - 25 - 10
+MANUAL_MOUNT_TIME = 115.0          # "approximately 115 seconds"
+MANUAL_TAIL_LATENCY = 400.0        # "10% of all manual tape mounts were not
+MANUAL_TAIL_FRACTION = 0.10        #  completed within 400 seconds"
+SILO_VS_MANUAL_SPEEDUP = (2.0, 2.5)  # "2 to 2.5 times as fast"
+PEAK_TRANSFER_RATE = 3 * MB        # "peak rate of 3 MB/sec"
+OBSERVED_TRANSFER_RATE = 2 * MB    # "usually closer to 2 MB/sec"
+AVG_RESPONSE_TIME_BOUND = 60.0     # "average response time ... is over 60 s"
+
+# ---------------------------------------------------------------------------
+# Section 5.3 / Figures 8 and 9 -- per-file reference behaviour
+# (computed on the 8-hour deduped stream)
+
+FRACTION_FILES_NEVER_READ = 0.50
+FRACTION_FILES_READ_ONCE = 0.25
+FRACTION_FILES_NEVER_WRITTEN = 0.21
+FRACTION_FILES_WRITTEN_ONCE = 0.65
+FRACTION_WRITE_ONCE_NEVER_READ = 0.44
+FRACTION_EXACTLY_ONE_ACCESS = 0.57
+FRACTION_EXACTLY_TWO_ACCESSES = 0.19
+FRACTION_MORE_THAN_TEN_REFERENCES = 0.05
+MEDIAN_FILE_REFERENCES = 1
+MAX_PLOTTED_REFERENCES = 250       # Figure 8 x-axis limit
+
+#: Figure 9: "70% of all intervals were less than 1 day".
+FRACTION_FILE_GAPS_UNDER_1_DAY = 0.70
+
+#: Section 6: "About one third of all requests came within eight hours of
+#: another request for the same file."
+FRACTION_REQUESTS_WITHIN_8H_OF_SAME_FILE = 1.0 / 3.0
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11 -- size distributions
+
+#: Figure 10: "40% of all requests are for files 1 MB or smaller".
+FRACTION_REQUESTS_UNDER_1MB = 0.40
+#: Figure 10: "a small jump in file writes at approximately 8 MB".
+WRITE_SIZE_BUMP_BYTES = 8 * MB
+#: Figure 11: "about half of the files are under 3 MB, these files contain
+#: 2% of the data".
+STATIC_SMALL_FILE_BOUND_BYTES = 3 * MB
+FRACTION_FILES_UNDER_3MB = 0.50
+FRACTION_DATA_IN_FILES_UNDER_3MB = 0.02
+#: Sub-1 MB files "make up under 1% of the total data storage requirement".
+FRACTION_DATA_IN_FILES_UNDER_1MB_BOUND = 0.01
+
+# ---------------------------------------------------------------------------
+# Figure 12 -- directory sizes
+
+FRACTION_DIRS_AT_MOST_10_FILES = 0.90
+FRACTION_DIRS_AT_MOST_1_FILE = 0.75
+FRACTION_FILES_IN_DIRS_OVER_100 = 0.50   # "over half"
+TOP_DIR_FRACTION = 0.05
+TOP_DIR_FILE_SHARE = 0.50                # "5% of the directories held 50%"
+
+# ---------------------------------------------------------------------------
+# Section 2.3 -- Smith's STP result, used by the policy benches
+
+#: Smith's best simple criterion: migrate the file with the largest
+#: size * (time since last reference) ** STP_TIME_EXPONENT.
+STP_TIME_EXPONENT = 1.4
+#: "a miss ratio of 1% ... would require a disk system that held 1.5% of
+#: the total tertiary storage" (for STP at SLAC).
+STP_TARGET_MISS_RATIO = 0.01
+STP_DISK_FRACTION_FOR_TARGET = 0.015
+#: "a loss of 6.26 person-minutes per day" at 1% miss ratio.
+PERSON_MINUTES_PER_DAY_AT_1PCT_MISS = 6.26
+
+# ---------------------------------------------------------------------------
+# Workload periodicity (abstract, Sections 5.2, Figures 4-6)
+
+#: The abstract's claim: requests are periodic with one-day and one-week
+#: periods, and reads account for the majority of the periodicity.
+PERIODS_SECONDS = (24 * 3600.0, 7 * 24 * 3600.0)
+
+#: Figure 4 shape anchors: work begins at 8-9 AM and tails off after 4 PM.
+PEAK_HOURS = (9, 17)
+READ_RISE_HOUR = 8

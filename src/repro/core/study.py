@@ -1,0 +1,119 @@
+"""The end-to-end study pipeline.
+
+A :class:`Study` owns one synthetic trace (and, lazily, a DES replay of
+it) and hands the analyses what they need.  It is the object the CLI,
+examples and benchmarks all drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.analysis import (
+    Comparison,
+    filestore_statistics,
+    overall_statistics,
+)
+from repro.mss.metrics import MetricsCollector
+from repro.mss.system import MSSConfig, MSSSystem
+from repro.trace.filters import dedupe_for_file_analysis, strip_errors
+from repro.trace.record import TraceRecord
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import SyntheticTrace, generate_trace
+
+
+@dataclass
+class StudyConfig:
+    """What to generate and how to simulate it."""
+
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    mss: MSSConfig = field(default_factory=MSSConfig)
+    #: Replace analytic latencies with DES-simulated ones.
+    simulate_latencies: bool = False
+
+    @staticmethod
+    def dense(scale: float = 0.02, seed: int = 42, days: float = 16.0) -> "StudyConfig":
+        """Short-duration config with full-scale arrival density.
+
+        Fine-timescale statistics (Figure 7 clustering, Figure 3 queueing)
+        depend on arrival *density*, which a scaled two-year trace cannot
+        keep.  The dense config trades calendar span for density.
+        """
+        workload = WorkloadConfig(
+            scale=scale, seed=seed, duration_seconds=days * DAY,
+            fill_latencies=False,
+        )
+        return StudyConfig(workload=workload, simulate_latencies=True)
+
+
+class Study:
+    """One reproducible run: trace + optional DES replay + analyses."""
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config or StudyConfig()
+        self._trace: Optional[SyntheticTrace] = None
+        self._records: Optional[List[TraceRecord]] = None
+        self._metrics: Optional[MetricsCollector] = None
+
+    # ------------------------------------------------------------------
+    # Lazily produced artifacts
+
+    @property
+    def trace(self) -> SyntheticTrace:
+        """The synthetic trace (generated on first use)."""
+        if self._trace is None:
+            self._trace = generate_trace(self.config.workload)
+        return self._trace
+
+    def records(self) -> List[TraceRecord]:
+        """Trace records, DES-replayed if the config asks for it."""
+        if self._records is None:
+            base = self.trace.records()
+            if self.config.simulate_latencies:
+                system = MSSSystem(self.config.mss)
+                self._records, self._metrics = system.replay(base)
+            else:
+                self._records = base
+        return self._records
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Iterate the (possibly replayed) records."""
+        return iter(self.records())
+
+    @property
+    def mss_metrics(self) -> MetricsCollector:
+        """DES metrics; triggers the replay if it has not run."""
+        if self._metrics is None:
+            if not self.config.simulate_latencies:
+                raise ValueError(
+                    "study was configured without DES latencies; use "
+                    "StudyConfig(simulate_latencies=True)"
+                )
+            self.records()
+        assert self._metrics is not None
+        return self._metrics
+
+    def good_records(self) -> Iterator[TraceRecord]:
+        """Successful references only."""
+        return strip_errors(self.iter_records())
+
+    def deduped_records(self) -> Iterator[TraceRecord]:
+        """The Section 5.3 stream: errors stripped, 8-hour dedupe."""
+        return dedupe_for_file_analysis(self.good_records())
+
+    # ------------------------------------------------------------------
+    # Canned analyses
+
+    def table3(self) -> Comparison:
+        """Table 3 paper-vs-measured."""
+        analysis = overall_statistics(self.iter_records())
+        return analysis.comparison(include_latency=self.config.simulate_latencies
+                                   or self.config.workload.fill_latencies)
+
+    def table4(self) -> Comparison:
+        """Table 4 paper-vs-measured."""
+        return filestore_statistics(
+            self.trace.namespace, scale=self.config.workload.scale
+        ).comparison()

@@ -1,0 +1,262 @@
+"""The managed disk cache in front of tertiary storage.
+
+This models the disk tier a migration policy manages: reads hit or stage
+from tape, writes land on disk and flush to tape (lazily or immediately),
+and a watermark pair triggers migration.  Section 6's recommendation --
+"it should write data to tape relatively quickly, and then mark the file
+as 'deleteable'" -- is the lazy write-back mode: once flushed, a file's
+space can be reclaimed without further tape work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hsm.metrics import HSMMetrics
+from repro.migration.policy import MigrationPolicy
+from repro.util.units import HOUR
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Managed-disk parameters."""
+
+    capacity_bytes: int
+    #: Migration starts above ``high_watermark`` and stops below
+    #: ``low_watermark`` (fractions of capacity).
+    high_watermark: float = 0.95
+    low_watermark: float = 0.85
+    #: Lazy write-back: flush dirty files this long after their last
+    #: write; None = write-through (flush immediately).
+    writeback_delay: Optional[float] = 4 * HOUR
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError("need 0 < low <= high <= 1")
+
+
+@dataclass
+class AccessOutcome:
+    """What one reference did to the cache."""
+
+    hit: bool
+    staged_bytes: int = 0
+    evicted: List[int] = field(default_factory=list)
+    forced_flush: bool = False
+
+
+class ManagedDiskCache:
+    """Byte-capacity cache driven by a migration policy.
+
+    The caller feeds time-ordered accesses; the cache tracks residency,
+    dirtiness, and the flush queue, and asks the policy for victims when
+    the high watermark is crossed.
+    """
+
+    def __init__(self, config: CacheConfig, policy: MigrationPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.metrics = HSMMetrics()
+        self._sizes: Dict[int, int] = {}
+        self._ever_seen: Set[int] = set()
+        self._dirty: Set[int] = set()
+        self._flush_queue: List[Tuple[float, int]] = []  # (due time, file)
+        self._usage = 0
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # State inspection
+
+    @property
+    def usage_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._usage
+
+    @property
+    def resident_files(self) -> int:
+        """Files currently resident."""
+        return len(self._sizes)
+
+    def is_resident(self, file_id: int) -> bool:
+        """Whether a file is on the managed disk."""
+        return file_id in self._sizes
+
+    def is_dirty(self, file_id: int) -> bool:
+        """Whether a resident file still owes a tape copy."""
+        return file_id in self._dirty
+
+    def check_invariants(self) -> None:
+        """Raise if internal accounting is inconsistent (test hook)."""
+        if self._usage != sum(self._sizes.values()):
+            raise AssertionError("usage does not match resident sizes")
+        if self._usage > self.config.capacity_bytes:
+            raise AssertionError("capacity exceeded")
+        if not self._dirty <= set(self._sizes):
+            raise AssertionError("dirty files not resident")
+        if self.policy.resident_count != len(self._sizes):
+            raise AssertionError("policy and cache disagree on residency")
+
+    # ------------------------------------------------------------------
+    # The access path
+
+    def access(
+        self, file_id: int, size: int, time: float, is_write: bool
+    ) -> AccessOutcome:
+        """Apply one reference; returns what happened."""
+        if size <= 0:
+            raise ValueError("file size must be positive")
+        if size > self.config.capacity_bytes:
+            raise ValueError(
+                f"file of {size} bytes cannot fit a "
+                f"{self.config.capacity_bytes}-byte cache"
+            )
+        self._note_time(time)
+        self.flush_due(time)
+        if is_write:
+            return self._write(file_id, size, time)
+        return self._read(file_id, size, time)
+
+    def _read(self, file_id: int, size: int, time: float) -> AccessOutcome:
+        self.metrics.reads += 1
+        if file_id in self._sizes:
+            self.metrics.read_hits += 1
+            self.policy.on_access(file_id, time, is_write=False)
+            return AccessOutcome(hit=True)
+        # Miss: stage from tape.
+        self.metrics.read_misses += 1
+        if file_id not in self._ever_seen:
+            self.metrics.compulsory_misses += 1
+        self.metrics.bytes_staged += size
+        evicted = self._insert(file_id, size, time, dirty=False)
+        return AccessOutcome(hit=False, staged_bytes=size, evicted=evicted)
+
+    def _write(self, file_id: int, size: int, time: float) -> AccessOutcome:
+        self.metrics.writes += 1
+        self.metrics.bytes_written += size
+        delay = self.config.writeback_delay
+        if file_id in self._sizes:
+            hit = True
+            self.policy.on_access(file_id, time, is_write=True)
+            if file_id in self._dirty:
+                # Re-written before its flush: the pending tape copy is
+                # superseded ("write lazily" pays off here).
+                self.metrics.rewrites_absorbed += 1
+                self._unschedule_flush(file_id)
+            evicted: List[int] = []
+        else:
+            hit = False
+            evicted = self._insert(file_id, size, time, dirty=True)
+        if delay is None:
+            self._flush_now(file_id)
+        else:
+            self._dirty.add(file_id)
+            self._flush_queue.append((time + delay, file_id))
+            self._flush_queue.sort()
+        return AccessOutcome(hit=hit, evicted=evicted)
+
+    # ------------------------------------------------------------------
+    # Flushing (tape writes)
+
+    def flush_due(self, now: float) -> int:
+        """Flush dirty files whose write-back timer expired."""
+        flushed = 0
+        while self._flush_queue and self._flush_queue[0][0] <= now:
+            _, file_id = self._flush_queue.pop(0)
+            if file_id in self._dirty:
+                self._flush_now(file_id)
+                flushed += 1
+        return flushed
+
+    def flush_all(self) -> int:
+        """Flush every dirty file (end-of-run cleanup)."""
+        dirty = list(self._dirty)
+        for file_id in dirty:
+            self._flush_now(file_id)
+        self._flush_queue.clear()
+        return len(dirty)
+
+    def _flush_now(self, file_id: int) -> None:
+        size = self._sizes.get(file_id, 0)
+        self.metrics.tape_writes += 1
+        self.metrics.bytes_flushed += size
+        self._dirty.discard(file_id)
+
+    def _unschedule_flush(self, file_id: int) -> None:
+        self._flush_queue = [
+            entry for entry in self._flush_queue if entry[1] != file_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Insertion and migration
+
+    def _insert(
+        self, file_id: int, size: int, time: float, dirty: bool
+    ) -> List[int]:
+        evicted = self._make_room(size, time, protect=file_id)
+        self._sizes[file_id] = size
+        self._ever_seen.add(file_id)
+        self._usage += size
+        self.policy.on_insert(file_id, size, time)
+        if dirty:
+            self._dirty.add(file_id)
+        return evicted
+
+    def _make_room(
+        self, incoming: int, time: float, protect: Optional[int]
+    ) -> List[int]:
+        """Evict (via the policy) so the incoming file fits and usage
+        drops to the low watermark if the high one was crossed."""
+        capacity = self.config.capacity_bytes
+        evicted: List[int] = []
+        target = None
+        if self._usage + incoming > self.config.high_watermark * capacity:
+            target = self.config.low_watermark * capacity - incoming
+        elif self._usage + incoming > capacity:
+            target = capacity - incoming
+        if target is None:
+            return evicted
+        needed = self._usage - max(target, 0)
+        if needed <= 0:
+            return evicted
+        victims = self.policy.select_victims(int(needed), time, protect=protect)
+        for victim in victims:
+            self._evict(victim)
+            evicted.append(victim)
+        # Defensive: if the policy under-delivered, evict by policy rank
+        # until the incoming file physically fits.
+        while self._usage + incoming > capacity and self._sizes:
+            extra = self.policy.select_victims(1, time, protect=protect)
+            if not extra:
+                raise RuntimeError("policy returned no victims but cache is full")
+            for victim in extra:
+                self._evict(victim)
+                evicted.append(victim)
+                if self._usage + incoming <= capacity:
+                    break
+        return evicted
+
+    def _evict(self, file_id: int) -> None:
+        if file_id in self._dirty:
+            # Migrating a dirty file forces its tape copy first.
+            self.metrics.forced_flushes += 1
+            self._flush_now(file_id)
+            self._unschedule_flush(file_id)
+        size = self._sizes.pop(file_id)
+        self._usage -= size
+        self.policy.on_evict(file_id)
+        self.metrics.evictions += 1
+        self.metrics.bytes_evicted += size
+
+    # ------------------------------------------------------------------
+
+    def _note_time(self, time: float) -> None:
+        if self._first_time is None:
+            self._first_time = time
+        self._last_time = time
+        self.metrics.span_seconds = (self._last_time or 0.0) - (
+            self._first_time or 0.0
+        )

@@ -1,0 +1,165 @@
+"""The hierarchical storage manager: cache + policy + prefetch, replaying
+a reference stream and reporting migration metrics.
+
+This is the engine behind the Section 6 experiments: compare STP / LRU /
+size / SAAC / OPT at various managed-disk capacities, toggle lazy
+write-back, and measure what prefetching buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.hsm.cache import CacheConfig, ManagedDiskCache
+from repro.hsm.metrics import HSMMetrics
+from repro.hsm.prefetch import PrefetchConfig, SequentialPrefetcher
+from repro.migration.opt import OptimalPolicy
+from repro.migration.policy import MigrationPolicy
+from repro.migration.registry import make_policy
+from repro.namespace.model import Namespace
+from repro.workload.generator import SyntheticTrace
+
+#: One reference: (file_id, size_bytes, time_seconds, is_write).
+Event = Tuple[int, int, float, bool]
+
+
+@dataclass
+class HSMConfig:
+    """Complete HSM experiment configuration."""
+
+    cache: CacheConfig
+    prefetch: PrefetchConfig = field(default_factory=lambda: PrefetchConfig(enabled=False))
+
+    @staticmethod
+    def with_capacity(
+        capacity_bytes: int,
+        writeback_delay: Optional[float] = 4 * 3600.0,
+        prefetch: bool = False,
+        prefetch_depth: int = 2,
+    ) -> "HSMConfig":
+        """Convenience constructor used by the benches."""
+        return HSMConfig(
+            cache=CacheConfig(
+                capacity_bytes=capacity_bytes, writeback_delay=writeback_delay
+            ),
+            prefetch=PrefetchConfig(enabled=prefetch, depth=prefetch_depth),
+        )
+
+
+class HSM:
+    """A managed disk tier in front of the tape archive."""
+
+    def __init__(
+        self,
+        config: HSMConfig,
+        policy: MigrationPolicy,
+        namespace: Optional[Namespace] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.cache = ManagedDiskCache(config.cache, policy)
+        self.prefetcher: Optional[SequentialPrefetcher] = None
+        if config.prefetch.enabled:
+            if namespace is None:
+                raise ValueError("prefetching needs the namespace for siblings")
+            self.prefetcher = SequentialPrefetcher(namespace, config.prefetch)
+
+    @property
+    def metrics(self) -> HSMMetrics:
+        """Counters accumulated so far."""
+        return self.cache.metrics
+
+    def handle(self, event: Event) -> None:
+        """Apply one reference."""
+        file_id, size, time, is_write = event
+        if self.prefetcher is not None and not is_write:
+            if self.cache.is_resident(file_id) and self.prefetcher.consume_hit(file_id):
+                self.metrics.prefetch_hits += 1
+        outcome = self.cache.access(file_id, size, time, is_write)
+        if self.prefetcher is not None:
+            for evicted in outcome.evicted:
+                self.prefetcher.cancel(evicted)
+            if not is_write and not outcome.hit:
+                self._prefetch_around(file_id, time)
+
+    def _prefetch_around(self, file_id: int, time: float) -> None:
+        assert self.prefetcher is not None
+        for sibling_id, sibling_size in self.prefetcher.candidates(file_id):
+            if self.cache.is_resident(sibling_id):
+                continue
+            if sibling_size > self.config.cache.capacity_bytes // 4:
+                continue  # do not wipe the cache for speculation
+            self.metrics.prefetches_issued += 1
+            self.metrics.bytes_staged += sibling_size
+            self.cache._insert(sibling_id, sibling_size, time, dirty=False)
+            self.prefetcher.note_prefetched(sibling_id)
+
+    def run(self, events: Iterable[Event]) -> HSMMetrics:
+        """Replay a whole reference stream."""
+        for event in events:
+            self.handle(event)
+        self.cache.flush_all()
+        return self.metrics
+
+
+# ---------------------------------------------------------------------------
+# Event-stream construction
+
+
+def events_from_trace(
+    trace: SyntheticTrace, deduped: bool = True
+) -> List[Event]:
+    """Reference stream for HSM replay from a synthetic trace.
+
+    Failed references are dropped; by default the 8-hour dedupe is applied
+    (migration decisions would not see batch-script re-requests, Section 6).
+    """
+    from repro.trace.filters import dedupe_for_file_analysis, strip_errors
+
+    records = strip_errors(trace.iter_records())
+    if deduped:
+        records = dedupe_for_file_analysis(records)
+    events: List[Event] = []
+    for record in records:
+        entry = trace.namespace.file_by_path(record.mss_path)
+        events.append(
+            (entry.file_id, max(entry.size, 1), record.start_time, record.is_write)
+        )
+    return events
+
+
+def run_policy(
+    events: List[Event],
+    policy_name: str,
+    capacity_bytes: int,
+    namespace: Optional[Namespace] = None,
+    writeback_delay: Optional[float] = 4 * 3600.0,
+    prefetch: bool = False,
+) -> HSMMetrics:
+    """Run one named policy over an event stream."""
+    if policy_name == "opt":
+        policy: MigrationPolicy = OptimalPolicy.from_events(
+            (file_id, time) for file_id, _, time, _ in events
+        )
+    else:
+        policy = make_policy(policy_name)
+    config = HSMConfig.with_capacity(
+        capacity_bytes, writeback_delay=writeback_delay, prefetch=prefetch
+    )
+    hsm = HSM(config, policy, namespace=namespace)
+    return hsm.run(events)
+
+
+def capacity_sweep(
+    events: List[Event],
+    policy_name: str,
+    total_bytes: int,
+    fractions: Iterable[float],
+    namespace: Optional[Namespace] = None,
+) -> Iterator[Tuple[float, HSMMetrics]]:
+    """Miss ratio vs capacity: the Smith-style curve of Section 2.3."""
+    for fraction in fractions:
+        capacity = max(int(total_bytes * fraction), 1)
+        metrics = run_policy(events, policy_name, capacity, namespace=namespace)
+        yield fraction, metrics

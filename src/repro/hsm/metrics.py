@@ -1,0 +1,91 @@
+"""Counters and derived metrics for HSM simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import paper
+from repro.trace.record import Device
+from repro.util.units import DAY, MINUTE
+
+#: Default hit/miss costs: the paper's measured disk and tape latencies.
+DISK_HIT_LATENCY = paper.TABLE3_DEVICE_TOTALS[Device.MSS_DISK].secs_to_first_byte
+TAPE_MISS_LATENCY = paper.TAPE_AVG_ACCESS
+
+
+@dataclass
+class HSMMetrics:
+    """Everything a migration experiment reports."""
+
+    reads: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    #: Misses on files never seen before (unavoidable for any policy).
+    compulsory_misses: int = 0
+    bytes_staged: int = 0
+    writes: int = 0
+    bytes_written: int = 0
+    tape_writes: int = 0
+    bytes_flushed: int = 0
+    rewrites_absorbed: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
+    forced_flushes: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+    span_seconds: float = field(default=0.0)
+
+    @property
+    def read_miss_ratio(self) -> float:
+        """Fraction of reads that had to be staged from tape."""
+        if self.reads == 0:
+            return 0.0
+        return self.read_misses / self.reads
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Fraction of reads served from the managed disk."""
+        return 1.0 - self.read_miss_ratio if self.reads else 0.0
+
+    @property
+    def capacity_miss_ratio(self) -> float:
+        """Miss ratio excluding compulsory (first-touch) misses -- the
+        part a migration policy is actually responsible for."""
+        if self.reads == 0:
+            return 0.0
+        return (self.read_misses - self.compulsory_misses) / self.reads
+
+    def mean_read_latency(
+        self,
+        hit_latency: float = DISK_HIT_LATENCY,
+        miss_latency: float = TAPE_MISS_LATENCY,
+    ) -> float:
+        """Expected seconds to first byte given the hit ratio.
+
+        Defaults: a hit costs the paper's disk latency, a miss the paper's
+        average tape access.
+        """
+        if self.reads == 0:
+            return 0.0
+        return (
+            self.read_hits * hit_latency + self.read_misses * miss_latency
+        ) / self.reads
+
+    def person_minutes_per_day(
+        self, stall_seconds: float = paper.TAPE_AVG_ACCESS
+    ) -> float:
+        """Human time lost to misses, the Section 2.3 currency.
+
+        Each read miss stalls a human for roughly one tape access; the
+        paper quotes 6.26 person-minutes/day at a 1 % miss ratio.
+        """
+        if self.span_seconds <= 0:
+            return 0.0
+        days = self.span_seconds / DAY
+        return (self.read_misses * stall_seconds / MINUTE) / days
+
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched files later read."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued

@@ -1,0 +1,39 @@
+"""Migration policies: STP, LRU, SAAC, size-based, FIFO, random, OPT."""
+
+from repro.migration.basic import (
+    FIFOPolicy,
+    LRUPolicy,
+    LargestFirstPolicy,
+    MRUPolicy,
+    RandomPolicy,
+    SmallestFirstPolicy,
+)
+from repro.migration.opt import NEVER, OptimalPolicy
+from repro.migration.policy import MigrationPolicy, ResidentFile
+from repro.migration.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.migration.saac import SAACPolicy
+from repro.migration.stp import SpaceTimePolicy, classic_stp, stp_14
+
+__all__ = [
+    "FIFOPolicy",
+    "LRUPolicy",
+    "LargestFirstPolicy",
+    "MRUPolicy",
+    "MigrationPolicy",
+    "NEVER",
+    "OptimalPolicy",
+    "RandomPolicy",
+    "ResidentFile",
+    "SAACPolicy",
+    "SmallestFirstPolicy",
+    "SpaceTimePolicy",
+    "available_policies",
+    "classic_stp",
+    "make_policy",
+    "register_policy",
+    "stp_14",
+]

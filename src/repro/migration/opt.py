@@ -1,0 +1,53 @@
+"""Offline-optimal policy (Belady's MIN adapted to file migration).
+
+Smith found "the best algorithms had access to the entire reference
+string for a file" (Section 2.3).  This policy is given the full future
+reference schedule and migrates the file whose next reference is farthest
+away (never-again files first), providing the lower bound the online
+policies are judged against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.migration.policy import MigrationPolicy, ResidentFile
+
+NEVER = float("inf")
+
+
+class OptimalPolicy(MigrationPolicy):
+    """Belady-style offline policy over a known reference string."""
+
+    name = "opt"
+
+    def __init__(self, schedule: Dict[int, Sequence[float]]) -> None:
+        """``schedule`` maps file id -> sorted reference times (the full
+        trace the simulation is about to replay)."""
+        super().__init__()
+        self._schedule: Dict[int, List[float]] = {
+            fid: sorted(times) for fid, times in schedule.items()
+        }
+
+    @staticmethod
+    def from_events(events: Iterable[Tuple[int, float]]) -> "OptimalPolicy":
+        """Build the schedule from (file_id, time) pairs."""
+        schedule: Dict[int, List[float]] = {}
+        for file_id, time in events:
+            schedule.setdefault(file_id, []).append(time)
+        return OptimalPolicy(schedule)
+
+    def next_reference_after(self, file_id: int, now: float) -> float:
+        """First reference to the file strictly after ``now``."""
+        times = self._schedule.get(file_id)
+        if not times:
+            return NEVER
+        idx = bisect.bisect_right(times, now)
+        if idx >= len(times):
+            return NEVER
+        return times[idx]
+
+    def rank(self, meta: ResidentFile, now: float) -> float:
+        """Farthest next reference migrates first."""
+        return self.next_reference_after(meta.file_id, now)

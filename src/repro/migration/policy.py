@@ -1,0 +1,105 @@
+"""The migration-policy interface.
+
+A policy decides which resident files to migrate off the managed disk when
+space is needed (Section 6 / the Smith [14,15] and Lawrie [10] studies the
+paper builds on).  Policies see every access and answer victim queries;
+the cache in :mod:`repro.hsm` owns capacity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class ResidentFile:
+    """Metadata a policy tracks for one cached file."""
+
+    file_id: int
+    size: int
+    inserted_at: float
+    last_access: float
+    access_count: int = 1
+
+
+class MigrationPolicy:
+    """Base class: bookkeeping plus the victim-selection hook."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._resident: Dict[int, ResidentFile] = {}
+
+    # ------------------------------------------------------------------
+    # Bookkeeping driven by the cache
+
+    def on_insert(self, file_id: int, size: int, time: float) -> None:
+        """A file has been staged onto the managed disk."""
+        if file_id in self._resident:
+            raise ValueError(f"file {file_id} is already resident")
+        self._resident[file_id] = ResidentFile(
+            file_id=file_id, size=size, inserted_at=time, last_access=time
+        )
+
+    def on_access(self, file_id: int, time: float, is_write: bool) -> None:
+        """A resident file has been referenced."""
+        meta = self._resident.get(file_id)
+        if meta is None:
+            raise KeyError(f"file {file_id} is not resident")
+        meta.last_access = time
+        meta.access_count += 1
+
+    def on_evict(self, file_id: int) -> None:
+        """A file has been migrated off the disk."""
+        if self._resident.pop(file_id, None) is None:
+            raise KeyError(f"file {file_id} is not resident")
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def is_resident(self, file_id: int) -> bool:
+        """Whether the policy believes the file is on disk."""
+        return file_id in self._resident
+
+    @property
+    def resident_count(self) -> int:
+        """Number of resident files."""
+        return len(self._resident)
+
+    def resident_metadata(self) -> Iterable[ResidentFile]:
+        """All resident file metadata (for scoring)."""
+        return self._resident.values()
+
+    def metadata(self, file_id: int) -> ResidentFile:
+        """Metadata for one resident file."""
+        return self._resident[file_id]
+
+    # ------------------------------------------------------------------
+    # The decision hook
+
+    def select_victims(
+        self, needed_bytes: int, now: float, protect: Optional[int] = None
+    ) -> List[int]:
+        """Pick files to migrate until at least ``needed_bytes`` are freed.
+
+        ``protect`` names a file that must not be chosen (typically the
+        file currently being staged).  Subclasses implement ``rank``; the
+        default selection greedily takes the highest-ranked victims.
+        """
+        chosen: List[int] = []
+        freed = 0
+        candidates = [
+            meta for meta in self._resident.values() if meta.file_id != protect
+        ]
+        candidates.sort(key=lambda meta: self.rank(meta, now), reverse=True)
+        for meta in candidates:
+            if freed >= needed_bytes:
+                break
+            chosen.append(meta.file_id)
+            freed += meta.size
+        return chosen
+
+    def rank(self, meta: ResidentFile, now: float) -> float:
+        """Migration priority; higher ranks migrate first."""
+        raise NotImplementedError

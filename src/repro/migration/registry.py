@@ -1,0 +1,61 @@
+"""Name -> policy factory registry, used by the CLI and the benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.migration.basic import (
+    FIFOPolicy,
+    LRUPolicy,
+    LargestFirstPolicy,
+    MRUPolicy,
+    RandomPolicy,
+    SmallestFirstPolicy,
+)
+from repro.migration.policy import MigrationPolicy
+from repro.migration.saac import SAACPolicy
+from repro.migration.stp import SpaceTimePolicy, classic_stp, stp_14
+
+PolicyFactory = Callable[[], MigrationPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {
+    "stp": stp_14,
+    "stp-1.0": classic_stp,
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "largest-first": LargestFirstPolicy,
+    "smallest-first": SmallestFirstPolicy,
+    "random": RandomPolicy,
+    "mru": MRUPolicy,
+    "saac": SAACPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Registered policy names (excludes OPT, which needs the trace)."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str) -> MigrationPolicy:
+    """Instantiate a policy by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {available_policies()}"
+        ) from exc
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Add a custom policy to the registry."""
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+__all__ = [
+    "available_policies",
+    "make_policy",
+    "register_policy",
+    "SpaceTimePolicy",
+]

@@ -1,0 +1,71 @@
+"""SAAC: migrate files whose activity is declining (Lawrie et al. [10]).
+
+The paper describes SAAC as the policy "which migrated files that became
+less active".  We implement it as a space-age product damped by an
+activity trend: each file keeps an exponentially decayed access rate, and
+files whose recent rate has fallen relative to their lifetime rate rank
+higher for migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.migration.policy import MigrationPolicy, ResidentFile
+from repro.util.units import DAY
+
+
+@dataclass
+class _Activity:
+    """Decayed-rate bookkeeping for one file."""
+
+    decayed_rate: float = 0.0
+    last_update: float = 0.0
+
+
+class SAACPolicy(MigrationPolicy):
+    """Space-Age-Activity-Change policy."""
+
+    name = "saac"
+
+    def __init__(self, half_life: float = 7 * DAY) -> None:
+        super().__init__()
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+        self._activity: Dict[int, _Activity] = {}
+
+    def _decay(self, activity: _Activity, now: float) -> float:
+        """Decayed access rate at ``now``."""
+        dt = max(now - activity.last_update, 0.0)
+        return activity.decayed_rate * 0.5 ** (dt / self.half_life)
+
+    def on_insert(self, file_id: int, size: int, time: float) -> None:
+        super().on_insert(file_id, size, time)
+        self._activity[file_id] = _Activity(decayed_rate=1.0, last_update=time)
+
+    def on_access(self, file_id: int, time: float, is_write: bool) -> None:
+        super().on_access(file_id, time, is_write)
+        activity = self._activity[file_id]
+        activity.decayed_rate = self._decay(activity, time) + 1.0
+        activity.last_update = time
+
+    def on_evict(self, file_id: int) -> None:
+        super().on_evict(file_id)
+        self._activity.pop(file_id, None)
+
+    def rank(self, meta: ResidentFile, now: float) -> float:
+        """Large, old, and *cooling* files migrate first.
+
+        Lifetime rate = accesses / residency; current rate = decayed rate.
+        The (1 + lifetime/current) factor grows as activity falls off.
+        """
+        age = max(now - meta.last_access, 1.0)
+        residency = max(now - meta.inserted_at, 1.0)
+        lifetime_rate = meta.access_count / residency
+        current_rate = max(
+            self._decay(self._activity[meta.file_id], now) / self.half_life, 1e-12
+        )
+        cooling = 1.0 + lifetime_rate / current_rate
+        return meta.size * age * cooling

@@ -1,0 +1,59 @@
+"""Base machinery shared by the simulated storage devices."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mss.kernel import Simulator
+from repro.mss.request import MSSRequest
+from repro.util.units import MB
+
+CompletionCallback = Callable[[MSSRequest], None]
+
+#: Observed device transfer rate (Section 5.1.1: "usually closer to
+#: 2 MB/sec" against a 3 MB/s channel peak).
+DEFAULT_TRANSFER_RATE = 2.0 * MB
+PEAK_TRANSFER_RATE = 3.0 * MB
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic string hash (Python's builtin is salted per-run)."""
+    return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "big")
+
+
+class StorageDevice:
+    """Common interface: ``submit`` a request, get a callback at the end."""
+
+    name = "device"
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.completed: int = 0
+
+    def submit(self, request: MSSRequest, on_complete: CompletionCallback) -> None:
+        """Begin serving a request; must eventually invoke ``on_complete``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+
+    def sample_transfer_seconds(self, size: int) -> float:
+        """Transfer duration at a noisy ~2 MB/s, capped at channel peak."""
+        rate = float(
+            min(
+                self.rng.lognormal(np.log(DEFAULT_TRANSFER_RATE), 0.22),
+                PEAK_TRANSFER_RATE,
+            )
+        )
+        return 0.05 + size / rate
+
+    def _finish(
+        self, request: MSSRequest, on_complete: CompletionCallback
+    ) -> None:
+        request.completion_time = self.sim.now
+        self.completed += 1
+        on_complete(request)

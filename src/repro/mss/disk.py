@@ -1,0 +1,98 @@
+"""The MSS online disk: IBM 3380s behind shared 3090 channels.
+
+Latency structure (Section 5.1.1): "For the disk, media mounting time and
+seek time are very short, usually well under a second.  While median access
+time for the disk was 4 seconds, the distribution has a long tail due to
+queueing at individual disks.  Each disk has a relatively low bandwidth, so
+a large file takes several seconds to satisfy.  Any requests for this disk
+that arrive in the meantime must wait for the long request to finish."
+
+Two queueing points reproduce that shape:
+
+* **spindle affinity** -- files of one directory live on one spindle, so a
+  session reading a directory serializes behind its own large transfers;
+* **shared channels** -- all spindles funnel through a few 3090 channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mss.devices import CompletionCallback, StorageDevice, stable_hash
+from repro.mss.kernel import Resource, Simulator
+from repro.mss.request import MSSRequest, Phase
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Disk subsystem parameters."""
+
+    n_spindles: int = 8
+    n_channels: int = 2
+    #: Head positioning: seek + rotation, well under a second.
+    position_min: float = 0.02
+    position_max: float = 0.9
+    #: Fixed per-request controller overhead (MSCP bookkeeping, VTOC walk).
+    controller_overhead: float = 1.2
+    #: Mean of the additional exponential catalog/VTOC delay on the 3090.
+    controller_jitter_mean: float = 2.2
+
+
+class DiskArray(StorageDevice):
+    """The 100 GB of IBM 3380s fronting the MSS."""
+
+    name = "disk"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        config: DiskConfig = DiskConfig(),
+    ) -> None:
+        super().__init__(sim, rng)
+        self.config = config
+        self._spindles: List[Resource] = [
+            Resource(sim, 1, name=f"spindle-{i}") for i in range(config.n_spindles)
+        ]
+        self._channels = Resource(sim, config.n_channels, name="disk-channels")
+
+    def spindle_of(self, request: MSSRequest) -> int:
+        """Directory-affine spindle placement."""
+        key = request.directory or request.path
+        return stable_hash(key) % self.config.n_spindles
+
+    def submit(self, request: MSSRequest, on_complete: CompletionCallback) -> None:
+        """Queue on the owning spindle, then a channel, then transfer."""
+        request.phase = Phase.QUEUED_DEVICE
+        spindle = self._spindles[self.spindle_of(request)]
+        request.served_by = spindle.name
+
+        def with_spindle() -> None:
+            request.device_grant_time = self.sim.now
+            position = (
+                self.config.controller_overhead
+                + float(self.rng.exponential(self.config.controller_jitter_mean))
+                + float(
+                    self.rng.uniform(
+                        self.config.position_min, self.config.position_max
+                    )
+                )
+            )
+            self.sim.schedule(position, lambda: self._channels.acquire(with_channel))
+
+        def with_channel() -> None:
+            request.phase = Phase.TRANSFERRING
+            request.seek_done_time = self.sim.now
+            request.first_byte_time = self.sim.now
+            duration = self.sample_transfer_seconds(request.size)
+            self.sim.schedule(duration, done)
+
+        def done() -> None:
+            self._channels.release()
+            spindle.release()
+            self._finish(request, on_complete)
+
+        spindle.acquire(with_spindle)

@@ -1,0 +1,115 @@
+"""An optical-disk jukebox, the Section 5.4 what-if device.
+
+"Such small files make up under 1% of the total data storage requirement,
+so it seems wise to store these files on inexpensive, low-performance
+disks rather than on tape.  If magnetic disk would be too expensive, an
+optical disk jukebox could provide low latency to the first byte and high
+capacity."
+
+Built from the Table 1 optical column: ~7 s random access (platter swap +
+seek in the jukebox), 0.25 MB/s transfer.  Used by the ablation bench to
+ask: what would small-file reads cost if they moved off the 3380s?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import paper
+from repro.mss.devices import CompletionCallback, StorageDevice, stable_hash
+from repro.mss.kernel import Resource, Simulator
+from repro.mss.request import MSSRequest, Phase
+
+
+@dataclass(frozen=True)
+class JukeboxConfig:
+    """Optical jukebox parameters (defaults from Table 1)."""
+
+    n_drives: int = 4
+    n_pickers: int = 1
+    #: Platter swap by the picker arm.
+    swap_min: float = 4.0
+    swap_max: float = 8.0
+    #: Seek/settle once the platter is in a drive.
+    access_seconds: float = paper.TABLE1_OPTICAL.random_access_seconds
+    transfer_rate: float = paper.TABLE1_OPTICAL.transfer_rate_bytes_per_s
+    platter_capacity: int = paper.TABLE1_OPTICAL.capacity_bytes
+    #: Files per platter, derived from typical small-file sizes.
+    files_per_platter: int = 400
+
+
+class OpticalJukebox(StorageDevice):
+    """A robotic optical-disk library serving small files."""
+
+    name = "jukebox"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        config: JukeboxConfig = JukeboxConfig(),
+    ) -> None:
+        super().__init__(sim, rng)
+        self.config = config
+        self._drives = Resource(sim, config.n_drives, name="jukebox-drives")
+        self._picker = Resource(sim, config.n_pickers, name="jukebox-picker")
+        self._mounted: dict = {}  # drive slot bookkeeping is statistical
+        self.swaps = 0
+        self.platter_hits = 0
+
+    def platter_of(self, request: MSSRequest) -> int:
+        """Directory-affine platter placement."""
+        directory = request.directory or request.path.rsplit("/", 1)[0]
+        return stable_hash(directory) % 10_000
+
+    def submit(self, request: MSSRequest, on_complete: CompletionCallback) -> None:
+        """Serve one request: drive, (maybe) platter swap, seek, stream."""
+        request.phase = Phase.QUEUED_DEVICE
+        platter = self.platter_of(request)
+        request.served_by = self.name
+
+        def with_drive() -> None:
+            request.device_grant_time = self.sim.now
+            if self._mounted.get(platter):
+                self.platter_hits += 1
+                request.mount_done_time = self.sim.now
+                begin_access()
+            else:
+                request.mount_was_needed = True
+                request.phase = Phase.MOUNTING
+                self._picker.acquire(do_swap)
+
+        def do_swap() -> None:
+            delay = float(self.rng.uniform(self.config.swap_min, self.config.swap_max))
+            self.sim.schedule(delay, swap_done)
+
+        def swap_done() -> None:
+            self._picker.release()
+            self._mounted[platter] = True
+            self.swaps += 1
+            request.mount_done_time = self.sim.now
+            begin_access()
+
+        def begin_access() -> None:
+            request.phase = Phase.SEEKING
+            access = float(
+                self.rng.uniform(
+                    0.5 * self.config.access_seconds, 1.5 * self.config.access_seconds
+                )
+            )
+            self.sim.schedule(access, begin_transfer)
+
+        def begin_transfer() -> None:
+            request.seek_done_time = self.sim.now
+            request.first_byte_time = self.sim.now
+            request.phase = Phase.TRANSFERRING
+            duration = 0.05 + request.size / self.config.transfer_rate
+            self.sim.schedule(duration, done)
+
+        def done() -> None:
+            self._drives.release()
+            self._finish(request, on_complete)
+
+        self._drives.acquire(with_drive)

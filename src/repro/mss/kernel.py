@@ -1,0 +1,181 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: events are (time, sequence) ordered,
+callbacks run at their scheduled instant, and ties break by scheduling
+order.  Everything in :mod:`repro.mss` -- drives, robots, operators,
+movers -- is built on this loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised on kernel misuse (scheduling in the past, etc.)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; allows cancelling a pending event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled fire time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = start_time
+        self._heap: List[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, clock is already at {self.now}"
+            )
+        event = _ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Process one event; returns False when nothing is pending."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap drains (or the clock passes
+        ``until``, leaving later events pending)."""
+        while True:
+            next_time = self.peek()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue (drives, robots, movers).
+
+    Acquire by callback: if a unit is free it is granted immediately
+    (synchronously); otherwise the callback queues until a release.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[Tuple[int, Callable[[], None]]] = []
+        self._wait_seq = itertools.count()
+        # Statistics
+        self.total_acquisitions = 0
+        self.total_wait_time = 0.0
+        self._wait_started: dict = {}
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Callbacks waiting for a unit."""
+        return len(self._waiters)
+
+    def acquire(self, callback: Callable[[], None]) -> None:
+        """Request one unit; ``callback`` runs when it is granted."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            callback()
+        else:
+            token = next(self._wait_seq)
+            self._wait_started[token] = self.sim.now
+            self._waiters.append((token, callback))
+
+    def release(self) -> None:
+        """Return one unit, waking the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            token, callback = self._waiters.pop(0)
+            started = self._wait_started.pop(token)
+            self.total_wait_time += self.sim.now - started
+            self.total_acquisitions += 1
+            callback()
+        else:
+            self._in_use -= 1
+
+    @property
+    def mean_wait(self) -> float:
+        """Average time spent queueing for this resource."""
+        if self.total_acquisitions == 0:
+            return 0.0
+        return self.total_wait_time / self.total_acquisitions

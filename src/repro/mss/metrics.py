@@ -1,0 +1,96 @@
+"""Measurement side of the MSS simulator.
+
+Collects per-(device, direction) latency samples and the Section 5.1.1
+decomposition (queue / mount / seek / transfer) so the analyses can
+regenerate Figure 3 and the latency rows of Table 3 from the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mss.request import MSSRequest
+from repro.trace.record import Device
+from repro.util.stats import CDF, StreamingMoments
+
+
+@dataclass
+class LatencyBreakdown:
+    """Latency components accumulated for one (device, direction) cell."""
+
+    startup: StreamingMoments = field(default_factory=StreamingMoments)
+    mscp_queue: StreamingMoments = field(default_factory=StreamingMoments)
+    device_queue: StreamingMoments = field(default_factory=StreamingMoments)
+    mount: StreamingMoments = field(default_factory=StreamingMoments)
+    seek: StreamingMoments = field(default_factory=StreamingMoments)
+    transfer: StreamingMoments = field(default_factory=StreamingMoments)
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, request: MSSRequest) -> None:
+        """Fold one completed request."""
+        self.startup.add(request.startup_latency)
+        self.mscp_queue.add(request.mscp_queue_time)
+        self.device_queue.add(request.device_queue_time)
+        self.mount.add(request.mount_time)
+        self.seek.add(request.seek_time)
+        self.transfer.add(request.transfer_time)
+        self.samples.append(request.startup_latency)
+
+    def cdf(self) -> CDF:
+        """Empirical CDF of startup latencies (Figure 3 curve)."""
+        return CDF.from_samples(self.samples)
+
+
+class MetricsCollector:
+    """Accumulates completed requests across the simulation."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[Device, bool], LatencyBreakdown] = {}
+        self.total_completed = 0
+
+    def record(self, request: MSSRequest) -> None:
+        """Fold a completed request into its cell."""
+        key = (request.device, request.is_write)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = LatencyBreakdown()
+        cell.add(request)
+        self.total_completed += 1
+
+    def cell(self, device: Device, is_write: bool) -> LatencyBreakdown:
+        """Breakdown for one (device, direction); empty if never hit."""
+        return self._cells.get((device, is_write), LatencyBreakdown())
+
+    def device_samples(self, device: Device) -> List[float]:
+        """All startup-latency samples for a device, both directions."""
+        out: List[float] = []
+        for is_write in (False, True):
+            out.extend(self.cell(device, is_write).samples)
+        return out
+
+    def device_cdf(self, device: Device) -> CDF:
+        """Figure 3 curve for one device."""
+        return CDF.from_samples(self.device_samples(device))
+
+    def mean_startup(self, device: Device, is_write: bool) -> float:
+        """Mean seconds to first byte (a Table 3 cell)."""
+        return self.cell(device, is_write).startup.mean
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Nested dict of means, for reports and tests."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (device, is_write), cell in sorted(
+            self._cells.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            name = f"{device.value}-{'write' if is_write else 'read'}"
+            out[name] = {
+                "count": float(cell.startup.count),
+                "startup_mean": cell.startup.mean,
+                "mscp_queue_mean": cell.mscp_queue.mean,
+                "device_queue_mean": cell.device_queue.mean,
+                "mount_mean": cell.mount.mean,
+                "seek_mean": cell.seek.mean,
+                "transfer_mean": cell.transfer.mean,
+            }
+        return out

@@ -1,0 +1,83 @@
+"""The Mass Storage Control Processor and its bitfile movers.
+
+Section 3.2: user commands send messages to the MSCP on the IBM 3090,
+which "locates the file and arranges for any necessary media mounts",
+then hands the transfer to one of a limited set of bitfile mover
+processes on the Cray.  The mover limit is the MSS-level queueing point:
+during request storms every transfer slot is busy and new requests wait
+before their device is even approached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.mss.devices import StorageDevice
+from repro.mss.kernel import Resource, Simulator
+from repro.mss.network import CONTROL_MESSAGE_SECONDS
+from repro.mss.request import MSSRequest, Phase
+from repro.trace.record import Device
+
+CompletionCallback = Callable[[MSSRequest], None]
+
+
+@dataclass(frozen=True)
+class MSCPConfig:
+    """Control-processor parameters."""
+
+    #: Concurrent bitfile movers (simultaneous transfers in flight).
+    n_movers: int = 12
+    #: Catalog lookup / request parsing on the 3090.
+    processing_mean: float = 0.6
+
+
+class MSCP:
+    """Routes requests to devices under the mover concurrency limit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        devices: Dict[Device, StorageDevice],
+        config: MSCPConfig = MSCPConfig(),
+    ) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.devices = devices
+        self.config = config
+        self._movers = Resource(sim, config.n_movers, name="bitfile-movers")
+        self.submitted = 0
+        self.completed = 0
+
+    def submit(self, request: MSSRequest, on_complete: CompletionCallback) -> None:
+        """Accept a request from the Cray side."""
+        if request.device not in self.devices:
+            raise ValueError(f"no device registered for {request.device}")
+        self.submitted += 1
+        request.phase = Phase.QUEUED_MSCP
+
+        def with_mover() -> None:
+            request.mscp_grant_time = self.sim.now
+            overhead = CONTROL_MESSAGE_SECONDS + float(
+                self.rng.exponential(self.config.processing_mean)
+            )
+            self.sim.schedule(overhead, dispatch)
+
+        def dispatch() -> None:
+            self.devices[request.device].submit(request, finished)
+
+        def finished(done_request: MSSRequest) -> None:
+            self._movers.release()
+            self.completed += 1
+            done_request.phase = Phase.COMPLETE
+            on_complete(done_request)
+
+        self._movers.acquire(with_mover)
+
+    @property
+    def mover_queue_wait(self) -> float:
+        """Mean time requests waited for a mover slot."""
+        return self._movers.mean_wait

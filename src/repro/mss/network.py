@@ -1,0 +1,119 @@
+"""The NCAR network topology of Figure 2.
+
+Two data paths reach the MSS:
+
+* the **LDN** (Local Data Network): direct device-to-Cray connections used
+  for bulk data ("providing a high-speed data path");
+* the **MASnet**: a hyperchannel-based control/data network through the
+  3090's main memory, used by everything else ("a slower path").
+
+The simulator charges a small fixed control-message cost per request on
+the MASnet and (optionally) bandwidth on the LDN; the topology object
+itself also backs the Figure 2 reproduction and its tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.units import GB, MB
+
+
+@dataclass(frozen=True)
+class Link:
+    """One edge of the topology."""
+
+    a: str
+    b: str
+    network: str            # "LDN" or "MASnet" or "NFS"
+    bandwidth: float        # bytes/second
+
+    def touches(self, node: str) -> bool:
+        """True when the link is incident on the node."""
+        return node in (self.a, self.b)
+
+
+@dataclass
+class Topology:
+    """The machine graph of Figure 2."""
+
+    nodes: List[str] = field(default_factory=list)
+    links: List[Link] = field(default_factory=list)
+
+    def add_node(self, name: str) -> None:
+        """Add a machine."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        self.nodes.append(name)
+
+    def add_link(self, a: str, b: str, network: str, bandwidth: float) -> None:
+        """Connect two machines."""
+        for node in (a, b):
+            if node not in self.nodes:
+                raise ValueError(f"unknown node {node!r}")
+        self.links.append(Link(a, b, network, bandwidth))
+
+    def neighbors(self, node: str) -> List[str]:
+        """Machines with a direct link to ``node``."""
+        out = []
+        for link in self.links:
+            if link.touches(node):
+                out.append(link.b if link.a == node else link.a)
+        return sorted(set(out))
+
+    def path_bandwidth(self, path: List[str]) -> float:
+        """Bottleneck bandwidth along a node path."""
+        if len(path) < 2:
+            raise ValueError("a path needs at least two nodes")
+        bottleneck = float("inf")
+        for a, b in zip(path, path[1:]):
+            candidates = [
+                link.bandwidth
+                for link in self.links
+                if link.touches(a) and link.touches(b)
+            ]
+            if not candidates:
+                raise ValueError(f"no link between {a!r} and {b!r}")
+            bottleneck = min(bottleneck, max(candidates))
+        return bottleneck
+
+    def links_by_network(self, network: str) -> List[Link]:
+        """All edges of one network."""
+        return [link for link in self.links if link.network == network]
+
+
+def ncar_topology() -> Topology:
+    """Figure 2's machine graph with Section 3.1 bandwidths."""
+    topo = Topology()
+    for node in (
+        "cray-ymp",        # shavano
+        "ibm-3090",        # the MSS control processor
+        "mss-disk",        # IBM 3380 farm
+        "tape-silo",       # StorageTek 4400
+        "shelf-tapes",
+        "vaxen",
+        "gateway-ws-1",
+        "gateway-ws-2",
+        "rest-of-ncar",
+    ):
+        topo.add_node(node)
+    # Direct LDN paths between the Cray and the MSS devices.
+    topo.add_link("cray-ymp", "mss-disk", "LDN", 100 * MB)
+    topo.add_link("cray-ymp", "tape-silo", "LDN", 100 * MB)
+    topo.add_link("cray-ymp", "shelf-tapes", "LDN", 100 * MB)
+    # Everything speaks to the 3090 over the MASnet.
+    for node in ("cray-ymp", "vaxen", "gateway-ws-1", "gateway-ws-2"):
+        topo.add_link(node, "ibm-3090", "MASnet", 4 * MB)
+    # The 3090 owns its devices.
+    topo.add_link("ibm-3090", "mss-disk", "LDN", 24 * MB)
+    topo.add_link("ibm-3090", "tape-silo", "LDN", 12 * MB)
+    topo.add_link("ibm-3090", "shelf-tapes", "LDN", 12 * MB)
+    # Workstation gateways front the internal networks.
+    topo.add_link("gateway-ws-1", "rest-of-ncar", "NFS", int(1.2 * MB))
+    topo.add_link("gateway-ws-2", "rest-of-ncar", "NFS", int(1.2 * MB))
+    return topo
+
+
+#: Per-request MASnet control-message latency charged by the MSCP.
+CONTROL_MESSAGE_SECONDS = 0.15

@@ -1,0 +1,108 @@
+"""The unit of work flowing through the simulated MSS."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trace.record import Device
+
+
+class Phase(enum.Enum):
+    """Lifecycle phases of a request, in order."""
+
+    SUBMITTED = "submitted"
+    QUEUED_MSCP = "queued-mscp"
+    QUEUED_DEVICE = "queued-device"
+    MOUNTING = "mounting"
+    SEEKING = "seeking"
+    TRANSFERRING = "transferring"
+    COMPLETE = "complete"
+
+
+@dataclass
+class MSSRequest:
+    """One iread/lwrite as seen by the simulator.
+
+    Timestamps are filled in as the request progresses, so the latency
+    decomposition of Section 5.1.1 (queue + mount + seek) can be recovered
+    per request.
+    """
+
+    request_id: int
+    path: str
+    size: int
+    is_write: bool
+    device: Device
+    arrival_time: float
+    directory: str = ""
+
+    # Filled during simulation:
+    mscp_grant_time: Optional[float] = None
+    device_grant_time: Optional[float] = None
+    mount_done_time: Optional[float] = None
+    seek_done_time: Optional[float] = None
+    first_byte_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    mount_was_needed: bool = False
+    served_by: str = ""
+    phase: Phase = field(default=Phase.SUBMITTED)
+
+    @property
+    def startup_latency(self) -> float:
+        """Seconds from arrival to the first byte (Table 3 metric)."""
+        if self.first_byte_time is None:
+            raise ValueError(f"request {self.request_id} has no first byte yet")
+        return self.first_byte_time - self.arrival_time
+
+    @property
+    def transfer_time(self) -> float:
+        """Seconds moving data."""
+        if self.completion_time is None or self.first_byte_time is None:
+            raise ValueError(f"request {self.request_id} is not complete")
+        return self.completion_time - self.first_byte_time
+
+    @property
+    def response_time(self) -> float:
+        """Total time the requester waited."""
+        if self.completion_time is None:
+            raise ValueError(f"request {self.request_id} is not complete")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def mscp_queue_time(self) -> float:
+        """Wait for a bitfile mover / MSCP slot."""
+        if self.mscp_grant_time is None:
+            return 0.0
+        return self.mscp_grant_time - self.arrival_time
+
+    @property
+    def device_queue_time(self) -> float:
+        """Wait for the storage device after the MSCP grant (or after
+        arrival, when the request went straight to a device)."""
+        if self.device_grant_time is None:
+            return 0.0
+        base = (
+            self.mscp_grant_time
+            if self.mscp_grant_time is not None
+            else self.arrival_time
+        )
+        return self.device_grant_time - base
+
+    @property
+    def mount_time(self) -> float:
+        """Media mount portion of the latency (zero on disk)."""
+        if self.mount_done_time is None or self.device_grant_time is None:
+            return 0.0
+        return self.mount_done_time - self.device_grant_time
+
+    @property
+    def seek_time(self) -> float:
+        """Positioning portion of the latency."""
+        if self.seek_done_time is None:
+            return 0.0
+        base = self.mount_done_time or self.device_grant_time
+        if base is None:
+            return 0.0
+        return self.seek_done_time - base

@@ -1,0 +1,232 @@
+"""Tape libraries: the StorageTek silo and the manual shelf station.
+
+Both share drive mechanics (mount / seek / transfer / rewind); they differ
+in who fetches the cartridge -- a robot arm in under ten seconds, or a
+human operator in about two minutes with a long tail (Section 5.1.1).
+
+Cartridge affinity matters: once a cartridge is mounted, follow-on requests
+for files on the same cartridge skip the mount entirely, which is how
+batch jobs reading consecutive history files see mostly seek-limited
+latencies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.mss.devices import CompletionCallback, StorageDevice, stable_hash
+from repro.mss.kernel import Resource, Simulator
+from repro.mss.operators import OperatorPool
+from repro.mss.request import MSSRequest, Phase
+
+_LEAF_SEQUENCE = re.compile(r"(\d+)")
+
+
+@dataclass(frozen=True)
+class TapeConfig:
+    """Parameters common to both tape stations."""
+
+    n_drives: int = 4
+    #: Tape positioning: reads land anywhere on the reel (mean ~50 s,
+    #: Section 5.1.1); writes append near the load point.
+    seek_read_min: float = 10.0
+    seek_read_max: float = 95.0
+    seek_write_min: float = 5.0
+    seek_write_max: float = 45.0
+    #: Rewind + unload before a cartridge swap.
+    rewind_mean: float = 18.0
+    #: 200 MB cartridges hold only a few supercomputer files.
+    files_per_cartridge: int = 3
+    #: Drive load/thread time once the cartridge arrives.
+    load_time: float = 4.0
+
+
+@dataclass
+class TapeDrive:
+    """One transport: its gate plus the currently mounted cartridge."""
+
+    index: int
+    gate: Resource
+    mounted: Optional[int] = None
+    pending: int = field(default=0)  # requests routed here, not yet done
+    #: Cartridge of the most recently routed request; queued requests for
+    #: the same cartridge follow it to this drive instead of triggering a
+    #: second mount elsewhere.
+    target: Optional[int] = None
+
+
+class TapeLibrary(StorageDevice):
+    """Drive pool + cartridge fetch mechanism (subclasses provide fetch)."""
+
+    name = "tape"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        config: TapeConfig = TapeConfig(),
+    ) -> None:
+        super().__init__(sim, rng)
+        self.config = config
+        self.drives: List[TapeDrive] = [
+            TapeDrive(index=i, gate=Resource(sim, 1, name=f"{self.name}-drive-{i}"))
+            for i in range(config.n_drives)
+        ]
+        self.mounts_performed = 0
+        self.mount_hits = 0  # requests served without a mount
+
+    # ------------------------------------------------------------------
+    # Cartridge geometry
+
+    def cartridge_of(self, request: MSSRequest) -> int:
+        """Deterministic file -> cartridge mapping with locality.
+
+        Files of one directory fill cartridges in sequence order, so the
+        consecutive history files a batch job reads share cartridges.
+        """
+        directory = request.directory or request.path.rsplit("/", 1)[0]
+        leaf = request.path.rsplit("/", 1)[-1]
+        match = _LEAF_SEQUENCE.search(leaf)
+        sequence = int(match.group(1)) if match else stable_hash(leaf) % 1000
+        return stable_hash(directory) + sequence // self.config.files_per_cartridge
+
+    # ------------------------------------------------------------------
+    # Fetch mechanism (robot or human), provided by subclasses
+
+    def _fetch_cartridge(self, cartridge: int, done: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Drive routing
+
+    def _pick_drive(self, cartridge: int) -> TapeDrive:
+        """Prefer the drive holding -- or already heading for -- this
+        cartridge, then the least loaded drive."""
+        for drive in self.drives:
+            if drive.target == cartridge or (
+                drive.pending == 0 and drive.mounted == cartridge
+            ):
+                return drive
+        return min(self.drives, key=lambda d: (d.pending, d.index))
+
+    def submit(self, request: MSSRequest, on_complete: CompletionCallback) -> None:
+        """Route to a drive; mount if needed; seek; transfer."""
+        request.phase = Phase.QUEUED_DEVICE
+        cartridge = self.cartridge_of(request)
+        drive = self._pick_drive(cartridge)
+        drive.pending += 1
+        drive.target = cartridge
+        request.served_by = f"{self.name}-drive-{drive.index}"
+
+        def with_drive() -> None:
+            request.device_grant_time = self.sim.now
+            if drive.mounted == cartridge:
+                self.mount_hits += 1
+                request.mount_done_time = self.sim.now
+                begin_seek()
+                return
+            request.mount_was_needed = True
+            request.phase = Phase.MOUNTING
+            delay = 0.0
+            if drive.mounted is not None:
+                delay += float(self.rng.exponential(self.config.rewind_mean))
+            drive.mounted = None
+
+            def after_rewind() -> None:
+                self._fetch_cartridge(cartridge, after_fetch)
+
+            def after_fetch() -> None:
+                self.sim.schedule(self.config.load_time, after_load)
+
+            def after_load() -> None:
+                drive.mounted = cartridge
+                self.mounts_performed += 1
+                request.mount_done_time = self.sim.now
+                begin_seek()
+
+            self.sim.schedule(delay, after_rewind)
+
+        def begin_seek() -> None:
+            request.phase = Phase.SEEKING
+            if request.is_write:
+                seek = self.rng.uniform(
+                    self.config.seek_write_min, self.config.seek_write_max
+                )
+            else:
+                seek = self.rng.uniform(
+                    self.config.seek_read_min, self.config.seek_read_max
+                )
+            self.sim.schedule(float(seek), begin_transfer)
+
+        def begin_transfer() -> None:
+            request.seek_done_time = self.sim.now
+            request.first_byte_time = self.sim.now
+            request.phase = Phase.TRANSFERRING
+            self.sim.schedule(self.sample_transfer_seconds(request.size), done)
+
+        def done() -> None:
+            drive.pending -= 1
+            drive.gate.release()
+            self._finish(request, on_complete)
+
+        drive.gate.acquire(with_drive)
+
+    @property
+    def mount_hit_ratio(self) -> float:
+        """Fraction of requests that found their cartridge mounted."""
+        total = self.mounts_performed + self.mount_hits
+        return self.mount_hits / total if total else 0.0
+
+
+class TapeSilo(TapeLibrary):
+    """StorageTek 4400 ACS: robot arms fetch cartridges in seconds."""
+
+    name = "silo"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        config: TapeConfig = TapeConfig(),
+        n_robots: int = 2,
+        pick_min: float = 4.0,
+        pick_max: float = 8.0,
+    ) -> None:
+        super().__init__(sim, rng, config)
+        self._robots = Resource(sim, n_robots, name="silo-robots")
+        self._pick_min = pick_min
+        self._pick_max = pick_max
+
+    def _fetch_cartridge(self, cartridge: int, done: Callable[[], None]) -> None:
+        def picked() -> None:
+            delay = float(self.rng.uniform(self._pick_min, self._pick_max))
+            self.sim.schedule(delay, finish)
+
+        def finish() -> None:
+            self._robots.release()
+            done()
+
+        self._robots.acquire(picked)
+
+
+class ShelfStation(TapeLibrary):
+    """Operator-mounted shelf tapes (the "manual" column of Table 3)."""
+
+    name = "shelf"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        operators: OperatorPool,
+        config: Optional[TapeConfig] = None,
+    ) -> None:
+        super().__init__(sim, rng, config or TapeConfig(n_drives=3))
+        self.operators = operators
+
+    def _fetch_cartridge(self, cartridge: int, done: Callable[[], None]) -> None:
+        self.operators.fetch(done)

@@ -1,0 +1,41 @@
+"""Synthetic MSS namespace: files, directories, and their size shapes."""
+
+from repro.namespace.dirtree import (
+    FULL_SCALE_DIRECTORIES,
+    FULL_SCALE_FILES,
+    FULL_SCALE_LARGEST_DIRECTORY,
+    MAX_DIRECTORY_DEPTH,
+    NamespaceProfile,
+    generate_namespace,
+)
+from repro.namespace.model import DirectoryEntry, FileEntry, Namespace
+from repro.namespace.sizes import (
+    LARGE_FILES,
+    MIN_FILE_BYTES,
+    SMALL_FILES,
+    SMALL_FRACTION,
+    DeviceSizeModel,
+    FileSizeModel,
+    LognormalSpec,
+    split_oversized,
+)
+
+__all__ = [
+    "DeviceSizeModel",
+    "DirectoryEntry",
+    "FULL_SCALE_DIRECTORIES",
+    "FULL_SCALE_FILES",
+    "FULL_SCALE_LARGEST_DIRECTORY",
+    "FileEntry",
+    "FileSizeModel",
+    "LARGE_FILES",
+    "LognormalSpec",
+    "MAX_DIRECTORY_DEPTH",
+    "MIN_FILE_BYTES",
+    "Namespace",
+    "NamespaceProfile",
+    "SMALL_FILES",
+    "SMALL_FRACTION",
+    "generate_namespace",
+    "split_oversized",
+]

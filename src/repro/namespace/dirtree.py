@@ -1,0 +1,282 @@
+"""Synthetic directory-tree and file-population generator.
+
+Calibrated to Table 4 and Figure 12:
+
+* ~143,245 directories for ~900,000 files (0.159 dirs per file),
+* 75 % of directories hold zero or one file, 90 % hold <= 10,
+* a handful of giant archive directories -- the largest holds 24,926 files
+  (~2.8 % of all files) -- so that ~5 % of directories hold ~50 % of the
+  files and data,
+* maximum directory depth 12.
+
+All counts scale linearly with the requested file count so the same *shape*
+holds for the small namespaces used in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.namespace.model import Namespace
+from repro.namespace.naming import directory_component, file_name, join_path
+from repro.namespace.sizes import FileSizeModel
+from repro.util.rng import make_rng
+from repro.util.stats import zipf_weights
+
+#: Table 4 full-scale reference values.
+FULL_SCALE_FILES = 900_000
+FULL_SCALE_DIRECTORIES = 143_245
+FULL_SCALE_LARGEST_DIRECTORY = 24_926
+MAX_DIRECTORY_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class NamespaceProfile:
+    """Tunable shape of the generated namespace (defaults = NCAR).
+
+    The giant-directory block models the archive directories Figure 12
+    shows: the largest holds 24,926 files (2.77 % of all files), and the
+    block as a whole carries ``giant_total_share`` of the file population
+    in a geometrically decaying sequence -- which is what puts "over half
+    of all files ... in large directories" while 75 % of directories hold
+    at most one file.
+    """
+
+    n_files: int = FULL_SCALE_FILES
+    dirs_per_file: float = FULL_SCALE_DIRECTORIES / FULL_SCALE_FILES
+    frac_zero_file_dirs: float = 0.40
+    frac_one_file_dirs: float = 0.35
+    tail_skew: float = 0.6
+    #: Share of all files in the single largest directory (Table 4:
+    #: 24,926 / 900,000).
+    giant_leading_share: float = FULL_SCALE_LARGEST_DIRECTORY / FULL_SCALE_FILES
+    #: Geometric decay between successive giant directories.
+    giant_decay: float = 0.95
+    #: Total share of files living in the giant block.
+    giant_total_share: float = 0.45
+    max_depth: int = MAX_DIRECTORY_DEPTH
+    #: Mean of the per-directory small-file bias (global small fraction).
+    small_bias_mean: float = 0.54
+    #: Concentration of the per-directory Beta bias; higher = files within a
+    #: directory look more alike (climate history dirs are all-large, home
+    #: dirs all-small).
+    small_bias_strength: float = 2.0
+    size_model: FileSizeModel = field(default_factory=FileSizeModel)
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise ValueError("n_files must be at least 1")
+        if not 0 < self.dirs_per_file:
+            raise ValueError("dirs_per_file must be positive")
+        if self.frac_zero_file_dirs + self.frac_one_file_dirs >= 1.0:
+            raise ValueError("zero- and one-file fractions must leave a tail")
+        if self.max_depth < 2:
+            raise ValueError("max_depth must be at least 2")
+
+    @staticmethod
+    def scaled(scale: float, **overrides) -> "NamespaceProfile":
+        """Profile with the file population scaled from full size."""
+        if not 0 < scale:
+            raise ValueError("scale must be positive")
+        n_files = max(10, int(round(FULL_SCALE_FILES * scale)))
+        return NamespaceProfile(n_files=n_files, **overrides)
+
+
+def _plan_file_counts(
+    profile: NamespaceProfile, rng: np.random.Generator
+) -> List[int]:
+    """Decide how many files each directory will hold.
+
+    Returns a list of per-directory counts summing exactly to
+    ``profile.n_files``, in no particular order.
+    """
+    n_files = profile.n_files
+    n_dirs = max(3, int(round(n_files * profile.dirs_per_file)))
+    n_zero = int(round(profile.frac_zero_file_dirs * n_dirs))
+    n_one = int(round(profile.frac_one_file_dirs * n_dirs))
+    n_one = min(n_one, n_files)  # cannot give out more singletons than files
+
+    # Giant archive directories: a geometrically decaying block carrying
+    # giant_total_share of all files, largest first.
+    remaining = n_files - n_one
+    giants: List[int] = []
+    giant_budget = profile.giant_total_share * n_files
+    share = profile.giant_leading_share
+    while giant_budget > 0 and len(giants) < n_dirs // 4:
+        count = int(round(share * n_files))
+        if count < 3 or count > remaining:
+            break
+        giants.append(count)
+        remaining -= count
+        giant_budget -= count
+        share *= profile.giant_decay
+
+    n_tail = n_dirs - n_zero - n_one - len(giants)
+    if n_tail < 0:
+        n_zero = max(0, n_zero + n_tail)
+        n_tail = 0
+
+    tail_counts: List[int] = []
+    if n_tail > 0 and remaining > 0:
+        weights = zipf_weights(n_tail, profile.tail_skew)
+        raw = weights * remaining
+        tail_counts = np.floor(raw).astype(int).tolist()
+        # Tail dirs hold at least 2 files (0/1-file dirs are modelled
+        # separately); hand out the rounding remainder by largest fraction.
+        tail_counts = [max(2, c) for c in tail_counts]
+        excess = sum(tail_counts) - remaining
+        idx = len(tail_counts) - 1
+        while excess > 0 and idx >= 0:
+            reducible = tail_counts[idx] - 2
+            take = min(reducible, excess)
+            tail_counts[idx] -= take
+            excess -= take
+            idx -= 1
+        if excess > 0:
+            # Still over budget (tiny namespaces): drop tail dirs to zero.
+            idx = len(tail_counts) - 1
+            while excess > 0 and idx >= 0:
+                take = min(tail_counts[idx], excess)
+                tail_counts[idx] -= take
+                excess -= take
+                idx -= 1
+        deficit = remaining - sum(tail_counts)
+        pos = 0
+        while deficit > 0 and tail_counts:
+            tail_counts[pos % len(tail_counts)] += 1
+            deficit -= 1
+            pos += 1
+        if deficit > 0:
+            giants.append(deficit)
+    elif remaining > 0:
+        # No tail directories; fold the leftovers into one more giant.
+        giants.append(remaining)
+
+    counts = [0] * n_zero + [1] * n_one + giants + tail_counts
+    total = sum(counts)
+    residual = n_files - total
+    if residual > 0:
+        # Spread the rounding residual over the tail so it does not
+        # distort the largest directory.
+        base = n_zero + n_one + len(giants)
+        if tail_counts:
+            for i in range(residual):
+                counts[base + i % len(tail_counts)] += 1
+        elif giants:
+            counts[n_zero + n_one] += residual
+        else:
+            counts[-1] += residual
+    elif residual < 0:
+        largest = max(range(len(counts)), key=counts.__getitem__)
+        counts[largest] += residual
+        if counts[largest] < 0:
+            raise AssertionError("file-count planning went negative")
+    return counts
+
+
+def _sample_depths(
+    n_dirs: int, max_depth: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Directory depths in [1, max_depth], geometric-ish with mean ~3.5.
+
+    User homes sit at depth 1, project dirs at 2, and working trees below;
+    depth tails off so the deepest level is rare but present at scale.
+    """
+    depths = np.arange(1, max_depth + 1)
+    weights = np.exp(-0.55 * (depths - 2.0) ** 2 / 4.0)  # peak near depth 2-3
+    weights[0] *= 1.6  # many user homes
+    weights = weights / weights.sum()
+    return rng.choice(depths, size=n_dirs, p=weights)
+
+
+def generate_namespace(
+    profile: Optional[NamespaceProfile] = None,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Namespace:
+    """Generate a namespace matching the profile (default: NCAR shape)."""
+    profile = profile or NamespaceProfile()
+    if rng is None:
+        rng = make_rng(seed)
+
+    counts = _plan_file_counts(profile, rng)
+    n_dirs = len(counts)
+    rng.shuffle(counts)
+
+    ns = Namespace()
+    root = ns.add_directory("/", depth=0, parent_id=None)
+
+    depths = _sample_depths(n_dirs, profile.max_depth, rng)
+    # Giant directories live shallow (project archives), so force the
+    # largest counts to depth 2 where possible.
+    order = np.argsort(counts)[::-1]
+    n_giant_like = max(1, int(0.005 * n_dirs))
+    for rank in range(min(n_giant_like, n_dirs)):
+        depths[order[rank]] = min(2, profile.max_depth)
+    # Guarantee a full-depth working chain (Table 4: max depth 12) by
+    # pinning one small directory to every level.
+    if n_dirs >= profile.max_depth * 3:
+        spine = order[-profile.max_depth:]
+        for level, idx in enumerate(spine, start=1):
+            depths[idx] = level
+
+    # Create directories level by level so parents always exist.
+    by_depth: List[List[int]] = [[root.dir_id]] + [[] for _ in range(profile.max_depth)]
+    dir_ids: List[Optional[int]] = [None] * n_dirs
+    seen_paths = {"/"}
+    for depth_level in range(1, profile.max_depth + 1):
+        members = [i for i in range(n_dirs) if depths[i] == depth_level]
+        if not members:
+            continue
+        parent_pool = by_depth[depth_level - 1]
+        if not parent_pool:
+            # No parent exists at the level above (sparse small namespace):
+            # pull the orphaned level up to the deepest populated level.
+            deepest = max(d for d in range(depth_level) if by_depth[d])
+            parent_pool = by_depth[deepest]
+            depth_level_actual = deepest + 1
+        else:
+            depth_level_actual = depth_level
+        for i in members:
+            parent_id = int(parent_pool[int(rng.integers(0, len(parent_pool)))])
+            parent = ns.directories[parent_id]
+            component = directory_component(rng, depth_level_actual)
+            path = (
+                join_path([component])
+                if parent.path == "/"
+                else f"{parent.path}/{component}"
+            )
+            if path in seen_paths:
+                path = f"{path}.{i}"
+            seen_paths.add(path)
+            entry = ns.add_directory(path, depth=depth_level_actual, parent_id=parent_id)
+            dir_ids[i] = entry.dir_id
+            by_depth[depth_level_actual].append(entry.dir_id)
+
+    # Populate files with per-directory size bias.
+    bias_a = profile.small_bias_strength
+    bias_b = bias_a * (1.0 - profile.small_bias_mean) / profile.small_bias_mean
+    size_model = profile.size_model
+    for i in range(n_dirs):
+        count = counts[i]
+        if count == 0:
+            continue
+        dir_id = dir_ids[i]
+        assert dir_id is not None
+        directory = ns.directories[dir_id]
+        bias = float(rng.beta(bias_a, bias_b))
+        is_small = rng.random(count) < bias
+        small_sizes = size_model.small.sample(rng, count)
+        large_sizes = size_model.large.sample(rng, count)
+        sizes = np.where(is_small, small_sizes, large_sizes)
+        sizes = np.clip(sizes, size_model.min_bytes, size_model.max_bytes)
+        for seq in range(count):
+            leaf = file_name(rng, seq)
+            path = f"{directory.path}/{leaf}" if directory.path != "/" else f"/{leaf}"
+            ns.add_file(path, int(sizes[seq]), dir_id)
+
+    ns.validate()
+    return ns

@@ -1,0 +1,65 @@
+"""Path naming for the synthetic MSS namespace.
+
+Names follow the flavour of an early-90s climate-computing site: per-user
+project trees holding model runs, history files, restart dumps and plot
+data.  Nothing downstream parses these names -- they only need to be unique,
+plausible, and stable under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+PROJECT_WORDS = (
+    "ccm", "mm4", "ocean", "stratus", "cirrus", "monsoon", "elnino",
+    "radiat", "chem", "gcm", "mesos", "paleo", "boundary", "wave",
+)
+
+SUBDIR_WORDS = (
+    "hist", "rest", "init", "plots", "src", "data", "runs", "diag",
+    "monthly", "daily", "spectral", "grid", "forcing", "anl",
+)
+
+FILE_STEMS = (
+    "h", "r", "d", "sst", "flx", "tmp", "uv", "ps", "precc", "cld",
+    "omega", "vort", "thick", "zonal",
+)
+
+FILE_SUFFIXES = ("nc", "dat", "cos", "Z", "tar", "grb", "out")
+
+
+def user_name(user_id: int) -> str:
+    """Login-style name for a numeric user id."""
+    return f"u{user_id:04d}"
+
+
+def directory_component(rng: np.random.Generator, depth: int) -> str:
+    """One path component for a directory at the given depth."""
+    if depth <= 1:
+        return user_name(int(rng.integers(0, 4000)))
+    if depth == 2:
+        word = PROJECT_WORDS[int(rng.integers(0, len(PROJECT_WORDS)))]
+        return f"{word}{int(rng.integers(1, 100)):02d}"
+    word = SUBDIR_WORDS[int(rng.integers(0, len(SUBDIR_WORDS)))]
+    return f"{word}{int(rng.integers(0, 1000)):03d}"
+
+
+def file_name(rng: np.random.Generator, sequence: int) -> str:
+    """A file leaf name; ``sequence`` keeps siblings distinct and ordered.
+
+    Sequential numbering matters: the paper notes that "a researcher
+    interested in day 1 of a climate model simulation will usually be
+    interested in day 2, and both days will probably be in separate files"
+    (Section 5.2.1) -- the workload's cluster model reads consecutive
+    sequence numbers from one directory.
+    """
+    stem = FILE_STEMS[int(rng.integers(0, len(FILE_STEMS)))]
+    suffix = FILE_SUFFIXES[int(rng.integers(0, len(FILE_SUFFIXES)))]
+    return f"{stem}{sequence:05d}.{suffix}"
+
+
+def join_path(components: List[str]) -> str:
+    """Assemble an absolute MSS path from components."""
+    return "/" + "/".join(components)

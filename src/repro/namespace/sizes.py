@@ -1,0 +1,157 @@
+"""File-size distributions calibrated to the paper.
+
+Figure 11 (static sizes of files on the MSS): roughly half of all files are
+under 3 MB yet hold only ~2 % of the data; the average file is 25 MB
+(Table 4); no file exceeds 200 MB because "a file cannot span multiple
+tapes" (Section 3.1).
+
+We model this as a two-component lognormal mixture: a *small* population
+(editor files, scripts, parameter decks) and a *large* population (climate
+model history files).  The component parameters below were solved from the
+paper's constraints:
+
+* mixture mean 25 MB,
+* P(size < 3 MB) ~= 0.5,
+* data share of sub-3 MB files ~= 2 %.
+
+Table 3 additionally gives per-device *dynamic* means (disk 3.75 MB, silo
+79.67 MB, shelf 47.14 MB); :class:`DeviceSizeModel` draws request sizes per
+storage level with those means, which reproduces both the per-device rows
+and (through the device mix) the 24.84 MB overall dynamic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.record import Device
+from repro.util.units import KB, MB, MSS_FILE_SIZE_LIMIT
+
+
+@dataclass(frozen=True)
+class LognormalSpec:
+    """A lognormal in bytes, specified by its median and shape."""
+
+    median_bytes: float
+    sigma: float
+
+    @property
+    def mu(self) -> float:
+        """Location parameter (log of the median)."""
+        return float(np.log(self.median_bytes))
+
+    @property
+    def mean_bytes(self) -> float:
+        """Analytic mean exp(mu + sigma^2/2)."""
+        return float(np.exp(self.mu + self.sigma ** 2 / 2.0))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sizes in bytes."""
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+
+#: Small-file component: median ~400 KB, heavy enough spread to reach the
+#: 20 KB floor Figure 11's x-axis starts at.
+SMALL_FILES = LognormalSpec(median_bytes=0.4 * MB, sigma=1.3)
+
+#: Large-file component: calibrated so the mixture mean lands at 25 MB given
+#: the 0.54 small fraction (0.54 * ~0.93 MB + 0.46 * ~53 MB ~= 25 MB).
+LARGE_FILES = LognormalSpec(median_bytes=42.0 * MB, sigma=0.80)
+
+#: Fraction of files drawn from the small component.
+SMALL_FRACTION = 0.54
+
+#: Smallest file the MSS stores (Figure 11's axis begins at 0.02 MB).
+MIN_FILE_BYTES = 20 * KB
+
+
+@dataclass(frozen=True)
+class FileSizeModel:
+    """Static file-size mixture for populating the namespace."""
+
+    small: LognormalSpec = SMALL_FILES
+    large: LognormalSpec = LARGE_FILES
+    small_fraction: float = SMALL_FRACTION
+    max_bytes: int = MSS_FILE_SIZE_LIMIT
+    min_bytes: int = MIN_FILE_BYTES
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` file sizes in whole bytes, clipped to MSS limits."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        is_small = rng.random(n) < self.small_fraction
+        sizes = np.where(
+            is_small,
+            self.small.sample(rng, n),
+            self.large.sample(rng, n),
+        )
+        sizes = np.clip(sizes, self.min_bytes, self.max_bytes)
+        return sizes.astype(np.int64)
+
+    def expected_mean_bytes(self) -> float:
+        """Analytic mixture mean (ignoring clipping)."""
+        return (
+            self.small_fraction * self.small.mean_bytes
+            + (1.0 - self.small_fraction) * self.large.mean_bytes
+        )
+
+
+# Per-device dynamic request-size distributions (Table 3 "Avg. file size").
+# Disk holds the small files (placement threshold 30 MB), the silo holds the
+# bulk large files, and shelf tape holds older, somewhat smaller archives.
+_DEVICE_SPECS = {
+    Device.MSS_DISK: LognormalSpec(median_bytes=1.1 * MB, sigma=1.566),
+    Device.TAPE_SILO: LognormalSpec(median_bytes=66.0 * MB, sigma=0.613),
+    Device.TAPE_SHELF: LognormalSpec(median_bytes=36.0 * MB, sigma=0.734),
+}
+
+
+@dataclass(frozen=True)
+class DeviceSizeModel:
+    """Dynamic (per-request) size model for one storage level."""
+
+    device: Device
+    spec: LognormalSpec
+    max_bytes: int = MSS_FILE_SIZE_LIMIT
+    min_bytes: int = MIN_FILE_BYTES
+
+    @staticmethod
+    def for_device(device: Device) -> "DeviceSizeModel":
+        """The calibrated model for a storage level."""
+        if device not in _DEVICE_SPECS:
+            raise ValueError(f"no size model for {device}")
+        return DeviceSizeModel(device=device, spec=_DEVICE_SPECS[device])
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Draw ``n`` request sizes in whole bytes."""
+        sizes = self.spec.sample(rng, n)
+        sizes = np.clip(sizes, self.min_bytes, self.max_bytes)
+        return sizes.astype(np.int64)
+
+    def expected_mean_bytes(self) -> float:
+        """Analytic mean (ignoring clipping)."""
+        return self.spec.mean_bytes
+
+
+def split_oversized(total_bytes: int, limit: Optional[int] = None) -> list:
+    """Split a Cray-side file into MSS-legal segments.
+
+    "While the Cray supports much larger files on its local disks, they must
+    be broken up before they can be written to the MSS." (Section 3.1)
+    Returns the list of segment sizes, all but the last equal to the limit.
+    """
+    cap = MSS_FILE_SIZE_LIMIT if limit is None else limit
+    if cap <= 0:
+        raise ValueError("limit must be positive")
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    full, remainder = divmod(total_bytes, cap)
+    segments = [cap] * full
+    if remainder:
+        segments.append(remainder)
+    return segments

@@ -1,0 +1,89 @@
+"""Trace substrate: the record format of Table 2 plus codec, I/O, filters.
+
+Public surface::
+
+    from repro.trace import (
+        TraceRecord, Device, Flags, ErrorKind,
+        TraceReader, TraceWriter, read_trace, write_trace,
+        strip_errors, dedupe_for_file_analysis, TraceStatistics,
+    )
+"""
+
+from repro.trace.codec import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    HEADER_LINE,
+    RecordDecoder,
+    RecordEncoder,
+    escape_path,
+    iter_decode,
+    quantize_record,
+    unescape_path,
+)
+from repro.trace.errors import (
+    ErrorKind,
+    TraceError,
+    TraceFormatError,
+    TraceValidationError,
+)
+from repro.trace.filters import (
+    EIGHT_HOURS,
+    by_device,
+    by_direction,
+    dedupe_for_file_analysis,
+    fraction_rereferenced_within,
+    only_errors,
+    strip_errors,
+    time_slice,
+)
+from repro.trace.flags import Flags
+from repro.trace.reader import TraceReader, load_trace_string, read_trace
+from repro.trace.record import (
+    Device,
+    TraceRecord,
+    device_token,
+    make_read,
+    make_write,
+    parse_device_token,
+)
+from repro.trace.stats import CellStats, TraceStatistics
+from repro.trace.writer import TraceWriter, dump_trace_string, write_trace
+
+__all__ = [
+    "CellStats",
+    "Device",
+    "EIGHT_HOURS",
+    "ErrorKind",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "Flags",
+    "HEADER_LINE",
+    "RecordDecoder",
+    "RecordEncoder",
+    "TraceError",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceRecord",
+    "TraceStatistics",
+    "TraceValidationError",
+    "TraceWriter",
+    "by_device",
+    "by_direction",
+    "dedupe_for_file_analysis",
+    "device_token",
+    "dump_trace_string",
+    "escape_path",
+    "fraction_rereferenced_within",
+    "iter_decode",
+    "load_trace_string",
+    "make_read",
+    "make_write",
+    "only_errors",
+    "parse_device_token",
+    "quantize_record",
+    "read_trace",
+    "strip_errors",
+    "time_slice",
+    "unescape_path",
+    "write_trace",
+]

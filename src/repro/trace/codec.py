@@ -1,0 +1,228 @@
+"""ASCII trace codec with delta-encoded timestamps.
+
+Section 4.2: traces are ASCII "so they would be easy to read on different
+machines with different byte orderings", start times are recorded as the
+difference from the previous record's start time (a Mache-style compaction
+[13]), startup latency is in whole seconds, transfer time in milliseconds,
+and a flag bit marks "same user as the previous request" so the user field
+can be elided.
+
+One record per line::
+
+    SRC DST FLAGS DSTART LATENCY XFER_MS SIZE MSS_PATH LOCAL_PATH UID
+
+* ``SRC``/``DST`` -- single-character device tokens (C/D/S/M).
+* ``FLAGS`` -- decimal flag word (:mod:`repro.trace.flags`).
+* ``DSTART`` -- whole seconds since the previous record's start time.
+* ``LATENCY`` -- whole seconds to the first byte.
+* ``XFER_MS`` -- whole milliseconds of transfer time.
+* ``SIZE`` -- file size in bytes.
+* ``LOCAL_PATH`` -- ``-`` when it is the conventional scratch path.
+* ``UID`` -- ``=`` when the SAME_USER flag is set (value carried over).
+
+The file starts with a header line ``#REPRO-TRACE 1`` followed by optional
+``#`` comment lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.trace.errors import TraceFormatError
+from repro.trace.flags import Flags
+from repro.trace.record import (
+    Device,
+    TraceRecord,
+    _default_local_path,
+    device_token,
+    parse_device_token,
+)
+
+FORMAT_MAGIC = "#REPRO-TRACE"
+FORMAT_VERSION = 1
+HEADER_LINE = f"{FORMAT_MAGIC} {FORMAT_VERSION}"
+
+_ESCAPES = {" ": "%20", "%": "%25", "\t": "%09", "\n": "%0A"}
+
+
+def escape_path(path: str) -> str:
+    """Escape whitespace and ``%`` so paths survive space-delimited lines."""
+    if not any(ch in path for ch in _ESCAPES):
+        return path
+    out = path.replace("%", "%25")
+    out = out.replace(" ", "%20").replace("\t", "%09").replace("\n", "%0A")
+    return out
+
+
+def unescape_path(token: str) -> str:
+    """Inverse of :func:`escape_path`."""
+    if "%" not in token:
+        return token
+    out = token.replace("%20", " ").replace("%09", "\t").replace("%0A", "\n")
+    return out.replace("%25", "%")
+
+
+def quantize_record(record: TraceRecord) -> TraceRecord:
+    """Clamp a record to the precision the trace format can carry.
+
+    Start time and startup latency round to whole seconds, transfer time to
+    whole milliseconds -- "these were the precisions available from the
+    original system logs" (Section 4.2).
+    """
+    return TraceRecord(
+        source=record.source,
+        destination=record.destination,
+        flags=record.flags,
+        start_time=float(round(record.start_time)),
+        startup_latency=float(round(record.startup_latency)),
+        transfer_time=round(record.transfer_time * 1000.0) / 1000.0,
+        file_size=record.file_size,
+        mss_path=record.mss_path,
+        local_path=record.local_path,
+        user_id=record.user_id,
+    )
+
+
+@dataclass
+class EncoderState:
+    """Inter-record context the delta encoding depends on."""
+
+    prev_start: int = 0
+    prev_user: Optional[int] = None
+
+
+class RecordEncoder:
+    """Stateful record -> line encoder (records must be time-ordered)."""
+
+    def __init__(self) -> None:
+        self._state = EncoderState()
+
+    def encode(self, record: TraceRecord) -> str:
+        """Encode one record as a trace line, advancing the delta state."""
+        start = int(round(record.start_time))
+        delta = start - self._state.prev_start
+        if delta < 0:
+            raise TraceFormatError(
+                "records must be encoded in nondecreasing start-time order"
+            )
+        same_user = (
+            self._state.prev_user is not None
+            and record.user_id == self._state.prev_user
+        )
+        flags = record.flags
+        if flags.same_user != same_user:
+            flags = flags.replace(same_user=same_user)
+        uid_field = "=" if same_user else str(record.user_id)
+        local = record.local_path
+        local_field = "-" if local == _default_local_path(record.mss_path) else escape_path(local)
+        line = " ".join(
+            (
+                device_token(record.source),
+                device_token(record.destination),
+                str(flags.encode()),
+                str(delta),
+                str(int(round(record.startup_latency))),
+                str(int(round(record.transfer_time * 1000.0))),
+                str(record.file_size),
+                escape_path(record.mss_path),
+                local_field,
+                uid_field,
+            )
+        )
+        self._state.prev_start = start
+        self._state.prev_user = record.user_id
+        return line
+
+
+@dataclass
+class DecoderState:
+    """Inter-record context the delta decoding depends on."""
+
+    prev_start: int = 0
+    prev_user: Optional[int] = None
+    line_number: int = field(default=0)
+
+
+class RecordDecoder:
+    """Stateful line -> record decoder, the inverse of :class:`RecordEncoder`."""
+
+    def __init__(self) -> None:
+        self._state = DecoderState()
+
+    def decode(self, line: str) -> TraceRecord:
+        """Decode one trace line, advancing the delta state."""
+        self._state.line_number += 1
+        n = self._state.line_number
+        parts = line.split(" ")
+        if len(parts) != 10:
+            raise TraceFormatError(
+                f"expected 10 fields, got {len(parts)}", line_number=n
+            )
+        (src_tok, dst_tok, flags_tok, dstart_tok, latency_tok,
+         xfer_tok, size_tok, mss_tok, local_tok, uid_tok) = parts
+        try:
+            source = parse_device_token(src_tok)
+            destination = parse_device_token(dst_tok)
+            flags = Flags.decode(int(flags_tok))
+            delta = int(dstart_tok)
+            latency = int(latency_tok)
+            xfer_ms = int(xfer_tok)
+            size = int(size_tok)
+        except (ValueError, TraceFormatError) as exc:
+            raise TraceFormatError(str(exc), line_number=n) from exc
+        if delta < 0:
+            raise TraceFormatError("negative start-time delta", line_number=n)
+        mss_path = unescape_path(mss_tok)
+        if uid_tok == "=":
+            if not flags.same_user or self._state.prev_user is None:
+                raise TraceFormatError(
+                    "'=' user field without a same-user predecessor",
+                    line_number=n,
+                )
+            user_id = self._state.prev_user
+        else:
+            try:
+                user_id = int(uid_tok)
+            except ValueError as exc:
+                raise TraceFormatError(f"bad user id {uid_tok!r}", line_number=n) from exc
+        local_path = (
+            _default_local_path(mss_path) if local_tok == "-" else unescape_path(local_tok)
+        )
+        start = self._state.prev_start + delta
+        record = TraceRecord(
+            source=source,
+            destination=destination,
+            flags=flags,
+            start_time=float(start),
+            startup_latency=float(latency),
+            transfer_time=xfer_ms / 1000.0,
+            file_size=size,
+            mss_path=mss_path,
+            local_path=local_path,
+            user_id=user_id,
+        )
+        self._state.prev_start = start
+        self._state.prev_user = user_id
+        return record
+
+
+def iter_decode(lines: Iterator[str]) -> Iterator[TraceRecord]:
+    """Decode an iterable of lines (header + comments + records)."""
+    decoder = RecordDecoder()
+    saw_header = False
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not saw_header:
+                if not line.startswith(FORMAT_MAGIC):
+                    raise TraceFormatError(
+                        f"missing {FORMAT_MAGIC} header, got {line[:40]!r}"
+                    )
+                saw_header = True
+            continue
+        if not saw_header:
+            raise TraceFormatError("record before trace header")
+        yield decoder.decode(line)

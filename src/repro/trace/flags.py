@@ -1,0 +1,84 @@
+"""The trace record flag word.
+
+Table 2 describes one ``flags`` field carrying "Read/write, error
+information, compression information".  Section 4.2 adds one more bit: "there
+is a bit in the flag field which indicates that the request was made by the
+same user who made the previous request."  We pack all of that into a single
+integer so the on-disk format stays one small decimal field.
+
+Layout (least significant bit first)::
+
+    bit 0      WRITE          0 = read, 1 = write
+    bits 1-3   ERROR KIND     ErrorKind value, 0 = success
+    bit 4      COMPRESSED     data was stored compressed on the MSS
+    bit 5      SAME_USER      same requesting user as the previous record
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.errors import ErrorKind
+
+_WRITE_BIT = 1 << 0
+_ERROR_SHIFT = 1
+_ERROR_MASK = 0b111 << _ERROR_SHIFT
+_COMPRESSED_BIT = 1 << 4
+_SAME_USER_BIT = 1 << 5
+
+MAX_FLAG_VALUE = _WRITE_BIT | _ERROR_MASK | _COMPRESSED_BIT | _SAME_USER_BIT
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Decoded view of a record's flag word."""
+
+    is_write: bool = False
+    error: ErrorKind = ErrorKind.NONE
+    compressed: bool = False
+    same_user: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        """True for read requests (Cray pulling data from the MSS)."""
+        return not self.is_write
+
+    @property
+    def is_error(self) -> bool:
+        """True when the reference failed and is excluded from analysis."""
+        return self.error.is_error
+
+    def encode(self) -> int:
+        """Pack into the integer stored in the trace file."""
+        word = 0
+        if self.is_write:
+            word |= _WRITE_BIT
+        word |= (int(self.error) << _ERROR_SHIFT) & _ERROR_MASK
+        if self.compressed:
+            word |= _COMPRESSED_BIT
+        if self.same_user:
+            word |= _SAME_USER_BIT
+        return word
+
+    @staticmethod
+    def decode(word: int) -> "Flags":
+        """Unpack a flag word; rejects values with unassigned bits set."""
+        if word < 0 or word > MAX_FLAG_VALUE:
+            raise ValueError(f"flag word {word} out of range")
+        error_value = (word & _ERROR_MASK) >> _ERROR_SHIFT
+        try:
+            error = ErrorKind(error_value)
+        except ValueError as exc:
+            raise ValueError(f"unknown error kind {error_value}") from exc
+        return Flags(
+            is_write=bool(word & _WRITE_BIT),
+            error=error,
+            compressed=bool(word & _COMPRESSED_BIT),
+            same_user=bool(word & _SAME_USER_BIT),
+        )
+
+    def replace(self, **changes: object) -> "Flags":
+        """Copy with the given fields replaced (records are immutable)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)  # type: ignore[arg-type]

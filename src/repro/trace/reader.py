@@ -1,0 +1,56 @@
+"""Streaming trace reader."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.trace.codec import iter_decode
+from repro.trace.record import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+class TraceReader:
+    """Iterates the records of an ASCII trace file lazily.
+
+    Usable either as a context manager or a plain iterable::
+
+        with TraceReader(path) as reader:
+            for record in reader:
+                ...
+    """
+
+    def __init__(self, source: Union[PathLike, io.TextIOBase]) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: io.TextIOBase = open(source, "r", encoding="ascii")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter_decode(iter(self._stream))
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Read an entire trace file into memory."""
+    with TraceReader(path) as reader:
+        return list(reader)
+
+
+def load_trace_string(text: str) -> List[TraceRecord]:
+    """Decode an in-memory trace produced by ``dump_trace_string``."""
+    return list(iter_decode(iter(io.StringIO(text))))

@@ -1,0 +1,223 @@
+"""The trace record: one MSS reference, with the fields of Table 2.
+
+A record captures a single ``iread``/``lwrite`` request from the Cray to the
+mass storage system: which device the data moved between, when the request
+started, how long it waited for the first byte (startup latency), how long
+the transfer itself took, the file's size and names, and the requesting user.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.trace.errors import ErrorKind, TraceValidationError
+from repro.trace.flags import Flags
+
+
+class Device(enum.Enum):
+    """Endpoints a transfer can involve.
+
+    ``CRAY`` is the compute side; the other three are the MSS storage levels
+    the paper breaks statistics down by: IBM 3380 disk attached to the 3090,
+    the StorageTek 4400 cartridge silo, and manually mounted shelf tape.
+    """
+
+    CRAY = "cray"
+    MSS_DISK = "disk"
+    TAPE_SILO = "silo"
+    TAPE_SHELF = "shelf"
+
+    @property
+    def is_storage(self) -> bool:
+        """True for MSS storage devices (everything but the Cray)."""
+        return self is not Device.CRAY
+
+    @staticmethod
+    def storage_devices() -> tuple:
+        """The three storage levels in the paper's reporting order."""
+        return (Device.MSS_DISK, Device.TAPE_SILO, Device.TAPE_SHELF)
+
+
+# Short on-disk tokens for the codec.
+_DEVICE_TOKENS = {
+    Device.CRAY: "C",
+    Device.MSS_DISK: "D",
+    Device.TAPE_SILO: "S",
+    Device.TAPE_SHELF: "M",  # "manual" in the paper's tables
+}
+_TOKEN_DEVICES = {token: dev for dev, token in _DEVICE_TOKENS.items()}
+
+
+def device_token(device: Device) -> str:
+    """Single-character token used in the trace file."""
+    return _DEVICE_TOKENS[device]
+
+
+def parse_device_token(token: str) -> Device:
+    """Inverse of :func:`device_token`."""
+    try:
+        return _TOKEN_DEVICES[token]
+    except KeyError as exc:
+        raise TraceValidationError(f"unknown device token {token!r}") from exc
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One reference to the MSS (Table 2).
+
+    Times are in seconds of simulation time; ``transfer_time`` keeps the
+    trace format's millisecond precision but is exposed in seconds.
+    """
+
+    source: Device
+    destination: Device
+    flags: Flags
+    start_time: float
+    startup_latency: float
+    transfer_time: float
+    file_size: int
+    mss_path: str
+    local_path: str
+    user_id: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise TraceValidationError("source and destination must differ")
+        if not (self.source.is_storage ^ self.destination.is_storage):
+            raise TraceValidationError(
+                "exactly one endpoint must be an MSS storage device"
+            )
+        if self.start_time < 0:
+            raise TraceValidationError("start_time must be non-negative")
+        if self.startup_latency < 0:
+            raise TraceValidationError("startup_latency must be non-negative")
+        if self.transfer_time < 0:
+            raise TraceValidationError("transfer_time must be non-negative")
+        if self.file_size < 0:
+            raise TraceValidationError("file_size must be non-negative")
+        if self.user_id < 0:
+            raise TraceValidationError("user_id must be non-negative")
+        if not self.mss_path:
+            raise TraceValidationError("mss_path must be non-empty")
+        # Direction must agree with the flag word.
+        writes_to_storage = self.destination.is_storage
+        if writes_to_storage != self.flags.is_write:
+            raise TraceValidationError(
+                "flag read/write bit disagrees with transfer direction"
+            )
+
+    @property
+    def is_write(self) -> bool:
+        """True when the Cray pushed data to the MSS."""
+        return self.flags.is_write
+
+    @property
+    def is_read(self) -> bool:
+        """True when the Cray pulled data from the MSS."""
+        return self.flags.is_read
+
+    @property
+    def is_error(self) -> bool:
+        """True when the reference failed (excluded from most analyses)."""
+        return self.flags.is_error
+
+    @property
+    def error(self) -> ErrorKind:
+        """The error condition, ``ErrorKind.NONE`` on success."""
+        return self.flags.error
+
+    @property
+    def storage_device(self) -> Device:
+        """The MSS storage level involved (disk, silo, or shelf)."""
+        return self.destination if self.destination.is_storage else self.source
+
+    @property
+    def completion_time(self) -> float:
+        """Instant the last byte moved."""
+        return self.start_time + self.startup_latency + self.transfer_time
+
+    @property
+    def response_time(self) -> float:
+        """Total time the requester waited (latency + transfer)."""
+        return self.startup_latency + self.transfer_time
+
+    def with_times(
+        self,
+        startup_latency: Optional[float] = None,
+        transfer_time: Optional[float] = None,
+    ) -> "TraceRecord":
+        """Copy with latency/transfer replaced (used by the DES replay)."""
+        changes = {}
+        if startup_latency is not None:
+            changes["startup_latency"] = startup_latency
+        if transfer_time is not None:
+            changes["transfer_time"] = transfer_time
+        return replace(self, **changes) if changes else self
+
+
+def make_read(
+    device: Device,
+    start_time: float,
+    file_size: int,
+    mss_path: str,
+    user_id: int,
+    startup_latency: float = 0.0,
+    transfer_time: float = 0.0,
+    local_path: str = "",
+    error: ErrorKind = ErrorKind.NONE,
+    compressed: bool = False,
+    same_user: bool = False,
+) -> TraceRecord:
+    """Convenience constructor for a read (storage -> Cray)."""
+    if not device.is_storage:
+        raise TraceValidationError("reads must come from a storage device")
+    return TraceRecord(
+        source=device,
+        destination=Device.CRAY,
+        flags=Flags(is_write=False, error=error, compressed=compressed, same_user=same_user),
+        start_time=start_time,
+        startup_latency=startup_latency,
+        transfer_time=transfer_time,
+        file_size=file_size,
+        mss_path=mss_path,
+        local_path=local_path or _default_local_path(mss_path),
+        user_id=user_id,
+    )
+
+
+def make_write(
+    device: Device,
+    start_time: float,
+    file_size: int,
+    mss_path: str,
+    user_id: int,
+    startup_latency: float = 0.0,
+    transfer_time: float = 0.0,
+    local_path: str = "",
+    error: ErrorKind = ErrorKind.NONE,
+    compressed: bool = False,
+    same_user: bool = False,
+) -> TraceRecord:
+    """Convenience constructor for a write (Cray -> storage)."""
+    if not device.is_storage:
+        raise TraceValidationError("writes must go to a storage device")
+    return TraceRecord(
+        source=Device.CRAY,
+        destination=device,
+        flags=Flags(is_write=True, error=error, compressed=compressed, same_user=same_user),
+        start_time=start_time,
+        startup_latency=startup_latency,
+        transfer_time=transfer_time,
+        file_size=file_size,
+        mss_path=mss_path,
+        local_path=local_path or _default_local_path(mss_path),
+        user_id=user_id,
+    )
+
+
+def _default_local_path(mss_path: str) -> str:
+    """Scratch-space path the Cray side would have used."""
+    leaf = mss_path.rsplit("/", 1)[-1] or "file"
+    return f"/tmp/wrk/{leaf}"

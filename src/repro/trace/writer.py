@@ -1,0 +1,89 @@
+"""Streaming trace writer."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.trace.codec import HEADER_LINE, RecordEncoder
+from repro.trace.record import TraceRecord
+
+PathLike = Union[str, Path]
+
+
+class TraceWriter:
+    """Writes records to an ASCII trace file, one per line, delta-encoded.
+
+    Usable as a context manager::
+
+        with TraceWriter(path, comments={"site": "ncar-synthetic"}) as w:
+            for record in records:
+                w.write(record)
+    """
+
+    def __init__(
+        self,
+        target: Union[PathLike, io.TextIOBase],
+        comments: Optional[dict] = None,
+    ) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: io.TextIOBase = open(target, "w", encoding="ascii")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._encoder = RecordEncoder()
+        self._count = 0
+        self._stream.write(HEADER_LINE + "\n")
+        for key, value in (comments or {}).items():
+            self._stream.write(f"# {key}={value}\n")
+
+    @property
+    def records_written(self) -> int:
+        """Number of records emitted so far."""
+        return self._count
+
+    def write(self, record: TraceRecord) -> None:
+        """Encode and append one record."""
+        self._stream.write(self._encoder.encode(record) + "\n")
+        self._count += 1
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        """Encode and append many records; returns how many were written."""
+        before = self._count
+        for record in records:
+            self.write(record)
+        return self._count - before
+
+    def close(self) -> None:
+        """Flush and close the underlying stream if this writer opened it."""
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def write_trace(
+    path: PathLike,
+    records: Iterable[TraceRecord],
+    comments: Optional[dict] = None,
+) -> int:
+    """Write all records to ``path``; returns the record count."""
+    with TraceWriter(path, comments=comments) as writer:
+        return writer.write_all(records)
+
+
+def dump_trace_string(records: Iterable[TraceRecord]) -> str:
+    """Encode records into an in-memory trace (testing convenience)."""
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    writer.write_all(records)
+    writer.close()
+    return buffer.getvalue()

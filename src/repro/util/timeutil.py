@@ -1,0 +1,156 @@
+"""Simulation calendar for the October 1990 -- September 1992 trace period.
+
+The trace clock is plain seconds since the start of the trace.  The paper's
+figures bin activity by hour of day (Figure 4), day of week (Figure 5) and
+week of trace (Figure 6), and the read workload dips on US holidays
+(Thanksgiving and Christmas 1990/1991, Section 5.2).  This module maps the
+simulation clock onto that calendar without depending on the host timezone.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.units import DAY, HOUR, WEEK
+
+#: First instant of the trace: midnight, Monday October 1st, 1990.
+TRACE_EPOCH = _dt.datetime(1990, 10, 1, 0, 0, 0)
+
+#: The trace covers 24 months, through September 30th, 1992 ("731 days",
+#: Section 5.2.1 -- 1992 was a leap year).
+TRACE_DAYS = 731
+TRACE_SECONDS = TRACE_DAYS * DAY
+TRACE_WEEKS = 104
+
+# Day-of-week indices follow the paper's Figure 5 ("0 = Sunday").
+SUNDAY, MONDAY, TUESDAY, WEDNESDAY, THURSDAY, FRIDAY, SATURDAY = range(7)
+DAY_NAMES = ("Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat")
+
+
+def _nth_weekday(year: int, month: int, weekday: int, n: int) -> _dt.date:
+    """Return the *n*-th (1-based) given weekday of a month.
+
+    ``weekday`` uses :mod:`datetime` convention (Monday=0).
+    """
+    date = _dt.date(year, month, 1)
+    offset = (weekday - date.weekday()) % 7
+    return date + _dt.timedelta(days=offset + 7 * (n - 1))
+
+
+def _holidays_for_year(year: int) -> List[_dt.date]:
+    """US holidays that empty the NCAR machine room of scientists."""
+    thanksgiving = _nth_weekday(year, 11, 3, 4)  # 4th Thursday of November
+    days = [
+        _dt.date(year, 1, 1),                       # New Year's Day
+        _dt.date(year, 1, 2),
+        _dt.date(year, 7, 4),                       # Independence Day
+        thanksgiving - _dt.timedelta(days=1),       # Thanksgiving Wednesday
+        thanksgiving,
+        thanksgiving + _dt.timedelta(days=1),       # day after Thanksgiving
+    ]
+    # Scientists disappear for the whole Christmas / New Year stretch.
+    days.extend(_dt.date(year, 12, day) for day in range(22, 32))
+    return days
+
+
+#: All holiday dates falling inside the trace period.
+TRACE_HOLIDAYS = frozenset(
+    day
+    for year in (1990, 1991, 1992)
+    for day in _holidays_for_year(year)
+    if TRACE_EPOCH.date() <= day <= (TRACE_EPOCH + _dt.timedelta(days=TRACE_DAYS)).date()
+)
+
+
+@dataclass(frozen=True)
+class CalendarPoint:
+    """Decomposition of one simulation instant onto the trace calendar."""
+
+    sim_time: float
+    datetime: _dt.datetime
+    hour_of_day: int
+    day_of_week: int          # 0 = Sunday, matching Figure 5
+    day_of_trace: int
+    week_of_trace: int
+    is_weekend: bool
+    is_holiday: bool
+
+
+class TraceCalendar:
+    """Maps simulation seconds to calendar features of the trace period."""
+
+    def __init__(self, epoch: _dt.datetime = TRACE_EPOCH) -> None:
+        self.epoch = epoch
+        self._holidays = TRACE_HOLIDAYS
+
+    def datetime_at(self, sim_time: float) -> _dt.datetime:
+        """Wall-clock datetime for a simulation timestamp."""
+        return self.epoch + _dt.timedelta(seconds=sim_time)
+
+    def sim_time_of(self, when: _dt.datetime) -> float:
+        """Simulation timestamp for a wall-clock datetime."""
+        return (when - self.epoch).total_seconds()
+
+    def hour_of_day(self, sim_time: float) -> int:
+        """Hour of day in [0, 24), 0 = midnight (Figure 4 x-axis)."""
+        return int((sim_time % DAY) // HOUR)
+
+    def day_of_week(self, sim_time: float) -> int:
+        """Day of week with 0 = Sunday (Figure 5 x-axis).
+
+        The trace epoch (1990-10-01) is a Monday, so day 0 of the trace has
+        day-of-week 1.
+        """
+        python_weekday = self.datetime_at(sim_time).weekday()  # Monday = 0
+        return (python_weekday + 1) % 7
+
+    def day_of_trace(self, sim_time: float) -> int:
+        """Whole days elapsed since the trace epoch."""
+        return int(sim_time // DAY)
+
+    def week_of_trace(self, sim_time: float) -> int:
+        """Whole weeks elapsed since the trace epoch (Figure 6 x-axis)."""
+        return int(sim_time // WEEK)
+
+    def is_weekend(self, sim_time: float) -> bool:
+        """True on Saturday and Sunday."""
+        return self.day_of_week(sim_time) in (SUNDAY, SATURDAY)
+
+    def is_holiday(self, sim_time: float) -> bool:
+        """True on holidays where interactive usage collapses."""
+        return self.datetime_at(sim_time).date() in self._holidays
+
+    def at(self, sim_time: float) -> CalendarPoint:
+        """Full calendar decomposition of one instant."""
+        return CalendarPoint(
+            sim_time=sim_time,
+            datetime=self.datetime_at(sim_time),
+            hour_of_day=self.hour_of_day(sim_time),
+            day_of_week=self.day_of_week(sim_time),
+            day_of_trace=self.day_of_trace(sim_time),
+            week_of_trace=self.week_of_trace(sim_time),
+            is_weekend=self.is_weekend(sim_time),
+            is_holiday=self.is_holiday(sim_time),
+        )
+
+    def holiday_weeks(self, min_days: int = 1) -> List[int]:
+        """Trace-week indices containing at least ``min_days`` holidays.
+
+        ``min_days=3`` selects the Thanksgiving and Christmas weeks whose
+        dips Figure 6 points out, skipping single-day holidays.
+        """
+        counts: dict = {}
+        for day in self._holidays:
+            sim = (
+                _dt.datetime(day.year, day.month, day.day) - self.epoch
+            ).total_seconds()
+            if 0 <= sim < TRACE_SECONDS:
+                week = int(sim // WEEK)
+                counts[week] = counts.get(week, 0) + 1
+        return sorted(week for week, n in counts.items() if n >= min_days)
+
+    def span_of_week(self, week: int) -> Tuple[float, float]:
+        """Simulation-time [start, end) covered by a trace week."""
+        return week * WEEK, (week + 1) * WEEK

@@ -1,0 +1,80 @@
+"""Byte and time unit constants and conversion helpers.
+
+The paper mixes units freely (MB for file sizes, GB for transfer volume,
+seconds for startup latency, milliseconds for transfer time).  Everything in
+this library is stored in *bytes* and *seconds*; these helpers exist so that
+call sites read like the paper.
+"""
+
+from __future__ import annotations
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+TB = 1000 * GB
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+#: Length of one Cray word on the Y-MP (Section 3.1, footnote).
+CRAY_WORD_BYTES = 8
+
+#: Hard limit on MSS file size: "Files on the MSS are limited to 200 MB in
+#: length, since a file cannot span multiple tapes." (Section 3.1)
+MSS_FILE_SIZE_LIMIT = 200 * MB
+
+#: Placement threshold: "The MSS tries to keep all files under 30 MB on the
+#: 3090 disks, and immediately sends all files over 30 MB to tape."
+DISK_PLACEMENT_THRESHOLD = 30 * MB
+
+
+def bytes_to_mb(n: float) -> float:
+    """Convert bytes to megabytes (decimal MB, as the paper uses)."""
+    return n / MB
+
+
+def bytes_to_gb(n: float) -> float:
+    """Convert bytes to gigabytes."""
+    return n / GB
+
+
+def mb(n: float) -> int:
+    """Express *n* megabytes in bytes."""
+    return int(n * MB)
+
+
+def gb(n: float) -> int:
+    """Express *n* gigabytes in bytes."""
+    return int(n * GB)
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an appropriate decimal unit suffix."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for limit, suffix in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n >= limit:
+            return f"{n / limit:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most readable unit."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1000:.0f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.1f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f} h"
+    return f"{seconds / DAY:.1f} d"

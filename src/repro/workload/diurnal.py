@@ -1,0 +1,98 @@
+"""Hour-of-day activity profiles (Figure 4).
+
+"The amount of data read jumps greatly at 8 AM when the scientists usually
+arrive, and slowly tails off after 4 PM as they leave.  The fall is slower
+than the rise because most scientists are more likely to stay late than to
+arrive early. ... writes remain almost constant regardless of the number of
+humans requesting data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Relative read intensity per hour (0 = midnight).  Low overnight, sharp
+#: rise at 8, plateau through the working day, slow evening tail.
+READ_HOURLY_WEIGHTS: Tuple[float, ...] = (
+    0.22, 0.18, 0.16, 0.15, 0.15, 0.16,   # 00-05  overnight batch-driven reads
+    0.20, 0.38, 0.80, 1.00, 1.05, 1.08,   # 06-11  arrival ramp and morning peak
+    1.02, 1.05, 1.08, 1.05, 1.00, 0.88,   # 12-17  afternoon plateau
+    0.72, 0.60, 0.52, 0.45, 0.35, 0.28,   # 18-23  slow tail-off
+)
+
+#: Relative write intensity per hour: machine-driven, nearly flat, with a
+#: mild working-hours bump from users issuing explicit lwrite requests
+#: ("there is a small increase in write requests during the day").
+WRITE_HOURLY_WEIGHTS: Tuple[float, ...] = (
+    0.95, 0.95, 0.96, 0.96, 0.95, 0.95,
+    0.96, 0.98, 1.02, 1.06, 1.08, 1.08,
+    1.05, 1.06, 1.08, 1.07, 1.05, 1.02,
+    1.00, 0.98, 0.97, 0.96, 0.95, 0.95,
+)
+
+
+@dataclass(frozen=True)
+class HourlyProfile:
+    """Normalized hour-of-day weights with sampling support."""
+
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != 24:
+            raise ValueError("an hourly profile needs exactly 24 weights")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("hourly weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise ValueError("hourly weights must not all be zero")
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Weights normalized to a probability vector."""
+        arr = np.asarray(self.weights, dtype=float)
+        return arr / arr.sum()
+
+    def factor(self, hour: int) -> float:
+        """Relative intensity of one hour (mean-normalized)."""
+        arr = np.asarray(self.weights, dtype=float)
+        return float(arr[hour] / arr.mean())
+
+    def sample_hours(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` hours of day according to the profile."""
+        return rng.choice(24, size=n, p=self.probabilities)
+
+    def peak_hour(self) -> int:
+        """The busiest hour."""
+        return int(np.argmax(self.weights))
+
+    def peak_to_trough(self) -> float:
+        """Ratio of the busiest to the quietest hour."""
+        arr = np.asarray(self.weights, dtype=float)
+        low = arr.min()
+        if low == 0:
+            return float("inf")
+        return float(arr.max() / low)
+
+
+READ_PROFILE = HourlyProfile(READ_HOURLY_WEIGHTS)
+WRITE_PROFILE = HourlyProfile(WRITE_HOURLY_WEIGHTS)
+
+
+def profile_for(is_write: bool) -> HourlyProfile:
+    """The calibrated profile for one direction."""
+    return WRITE_PROFILE if is_write else READ_PROFILE
+
+
+def validate_shape(weights: Sequence[float]) -> None:
+    """Sanity-check a custom profile against the paper's qualitative shape.
+
+    Raises ``ValueError`` unless working hours (9-17) are busier than the
+    small hours (0-6) -- the minimum structure Figures 4-5 demand.
+    """
+    arr = np.asarray(list(weights), dtype=float)
+    if len(arr) != 24:
+        raise ValueError("expected 24 hourly weights")
+    if arr[9:17].mean() <= arr[0:6].mean():
+        raise ValueError("working hours must be busier than the small hours")

@@ -1,0 +1,107 @@
+"""Analytic latency models for trace generation.
+
+The discrete-event simulator in :mod:`repro.mss` produces latencies from
+first principles (queueing + mounts + seeks); these closed-form samplers
+exist so a standalone trace can carry plausible latency fields without a
+full simulation.  Component means follow Section 5.1.1:
+
+* disk: median 4 s with a long queueing tail (mean ~25-30 s);
+* silo tape: disk-like queueing + ~8 s robot pick-and-mount + ~50 s seek;
+* shelf tape: queueing + ~2 minute human mount (long tail: 10 % of manual
+  mounts exceeded 400 s) + seek;
+* writes see smaller seeks than reads (appends vs positioning).
+
+Transfer rate: "Both the tapes and the disks can transfer at a peak rate of
+3 MB/sec, but the observed rates are usually closer to 2 MB/sec."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import Device
+from repro.util.units import MB
+
+
+@dataclass(frozen=True)
+class LatencyComponents:
+    """Parameters of one device/direction latency distribution."""
+
+    queue_median: float       # lognormal queueing delay median (seconds)
+    queue_sigma: float
+    mount_low: float          # uniform mount window (seconds)
+    mount_high: float
+    seek_mean: float          # exponential seek (seconds)
+    backlog_mean: float       # extra exponential delay (operator backlog)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` startup latencies in seconds."""
+        queue = rng.lognormal(np.log(self.queue_median), self.queue_sigma, n)
+        mount = rng.uniform(self.mount_low, self.mount_high, n)
+        seek = rng.exponential(self.seek_mean, n) if self.seek_mean > 0 else 0.0
+        backlog = (
+            rng.exponential(self.backlog_mean, n) if self.backlog_mean > 0 else 0.0
+        )
+        return queue + mount + seek + backlog
+
+    def mean(self) -> float:
+        """Analytic mean of the composed distribution."""
+        queue_mean = self.queue_median * float(np.exp(self.queue_sigma ** 2 / 2.0))
+        mount_mean = (self.mount_low + self.mount_high) / 2.0
+        return queue_mean + mount_mean + self.seek_mean + self.backlog_mean
+
+
+# (device, is_write) -> components.  Means target Table 3's seconds-to-
+# first-byte: disk 32.5/25.4, silo 115.1/81.9, shelf 292.6/203.8.
+_COMPONENTS = {
+    # Disk: pure queueing; median ~4 s, heavy tail from busy spindles.
+    (Device.MSS_DISK, False): LatencyComponents(4.0, 1.45, 0.0, 0.5, 0.0, 20.8),
+    (Device.MSS_DISK, True): LatencyComponents(4.0, 1.35, 0.0, 0.5, 0.0, 15.2),
+    # Silo: queueing + robot pick/mount (6-10 s) + tape seek.
+    (Device.TAPE_SILO, False): LatencyComponents(6.0, 1.3, 6.0, 10.0, 55.0, 38.0),
+    (Device.TAPE_SILO, True): LatencyComponents(6.0, 1.3, 6.0, 10.0, 25.0, 35.0),
+    # Shelf: queueing + operator fetch-and-mount (~2-3 min, heavy tail:
+    # the exponential seek+backlog pair puts ~10 % of reads past 400 s).
+    (Device.TAPE_SHELF, False): LatencyComponents(10.0, 1.2, 100.0, 220.0, 40.0, 68.0),
+    (Device.TAPE_SHELF, True): LatencyComponents(10.0, 1.2, 100.0, 220.0, 15.0, 8.0),
+}
+
+#: Effective transfer rate distribution: lognormal around 2 MB/s, clipped
+#: to the 3 MB/s channel peak.
+TRANSFER_RATE_MEDIAN = 2.0 * MB
+TRANSFER_RATE_SIGMA = 0.25
+TRANSFER_RATE_PEAK = 3.0 * MB
+TRANSFER_FIXED_OVERHEAD = 0.05  # seconds of per-request protocol overhead
+
+
+class AnalyticLatencyModel:
+    """Samples startup latency and transfer time per reference."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def startup_latencies(
+        self, device: Device, is_write: bool, n: int
+    ) -> np.ndarray:
+        """Draw ``n`` startup latencies for one device/direction."""
+        try:
+            components = _COMPONENTS[(device, is_write)]
+        except KeyError as exc:
+            raise ValueError(f"no latency model for {device}") from exc
+        return components.sample(self._rng, n)
+
+    def transfer_times(self, sizes: np.ndarray) -> np.ndarray:
+        """Draw transfer durations for an array of byte sizes."""
+        n = sizes.size
+        rates = self._rng.lognormal(
+            np.log(TRANSFER_RATE_MEDIAN), TRANSFER_RATE_SIGMA, n
+        )
+        rates = np.minimum(rates, TRANSFER_RATE_PEAK)
+        return TRANSFER_FIXED_OVERHEAD + np.asarray(sizes, dtype=float) / rates
+
+    @staticmethod
+    def expected_mean(device: Device, is_write: bool) -> float:
+        """Analytic mean startup latency for one device/direction."""
+        return _COMPONENTS[(device, is_write)].mean()

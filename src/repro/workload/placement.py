@@ -1,0 +1,102 @@
+"""Device placement: which storage level serves each reference.
+
+Section 3.1: "The MSS tries to keep all files under 30 MB on the 3090
+disks, and immediately sends all files over 30 MB to tape.  Usually, the
+tapes written are those in the cartridge silo."  Shelf tape serves old,
+cold files -- 97 % of its traffic is reads (Table 3) -- so tape-class reads
+go to the silo while the file is *recent* and to the shelf once it has gone
+cold (or if it pre-dates the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.trace.record import Device
+from repro.workload.config import PlacementConfig
+
+
+@dataclass
+class _FileState:
+    """Mutable per-file placement state during trace generation."""
+
+    on_shelf: bool
+    last_access: float
+
+
+@dataclass
+class DevicePlacement:
+    """Stateful per-reference device assignment.
+
+    Feed references in nondecreasing time order; the placement tracks each
+    tape-class file's recency to decide silo vs shelf.
+    """
+
+    config: PlacementConfig = field(default_factory=PlacementConfig)
+
+    def __post_init__(self) -> None:
+        self._tape_state: Dict[int, _FileState] = {}
+
+    def is_tape_class(self, size: int) -> bool:
+        """True for files the MSS sends straight to tape."""
+        return size >= self.config.disk_threshold_bytes
+
+    def register_preexisting(
+        self, rng: np.random.Generator, file_id: int, size: int
+    ) -> None:
+        """Mark a file that existed before the trace started.
+
+        Old tape files mostly sit on shelved cartridges; a minority are
+        still in the silo from recent activity.
+        """
+        if not self.is_tape_class(size):
+            return
+        on_shelf = bool(rng.random() < self.config.preexisting_shelf_fraction)
+        self._tape_state[file_id] = _FileState(
+            on_shelf=on_shelf, last_access=float("-inf")
+        )
+
+    def assign(
+        self,
+        rng: np.random.Generator,
+        file_id: int,
+        size: int,
+        time: float,
+        is_write: bool,
+    ) -> Device:
+        """Pick the storage level for one reference and update state."""
+        if not self.is_tape_class(size):
+            return Device.MSS_DISK
+
+        state = self._tape_state.get(file_id)
+        if is_write:
+            # Fresh data lands on silo cartridges, rarely on shelf tapes
+            # (special operator-mounted requests).
+            to_shelf = bool(rng.random() < self.config.tape_write_shelf_fraction)
+            self._tape_state[file_id] = _FileState(on_shelf=to_shelf, last_access=time)
+            return Device.TAPE_SHELF if to_shelf else Device.TAPE_SILO
+
+        if state is None:
+            # First sighting is a read: the file pre-dates the trace but was
+            # never registered (defensive path) -- treat as shelved archive.
+            state = _FileState(on_shelf=True, last_access=float("-inf"))
+            self._tape_state[file_id] = state
+
+        if not state.on_shelf:
+            if (time - state.last_access) > self.config.silo_residency:
+                # The silo holds only 6,000 cartridges; inactive ones are
+                # ejected to shelf storage.  A fresh write always lands the
+                # data back on a silo cartridge.
+                state.on_shelf = True
+            else:
+                state.last_access = time
+                return Device.TAPE_SILO
+        # Reading off the shelf sometimes gets the cartridge re-entered
+        # into the silo (hot data the operators expect to be used again).
+        if rng.random() < self.config.promote_on_read:
+            state.on_shelf = False
+            state.last_access = time
+        return Device.TAPE_SHELF

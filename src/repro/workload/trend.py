@@ -1,0 +1,69 @@
+"""Long-term (secular) activity trend over the 104 trace weeks (Figure 6).
+
+"The MSS data request rate increases over the period shown by the graph,
+but this gain is due almost entirely to increases in read requests. ...
+There are drops in read request rate around Thanksgiving and Christmas for
+both 1990 and 1991.  Note, however, that write request rate does not drop
+on these holidays.  In fact, write requests increased at the end of the
+year."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.timeutil import TRACE_WEEKS, TraceCalendar
+
+
+@dataclass(frozen=True)
+class SecularTrend:
+    """Week-indexed rate multipliers for one direction."""
+
+    is_write: bool
+    #: Read volume roughly triples over the two years; the ramp below runs
+    #: from 0.45x to 1.55x of the period mean.  Writes stay flat: the Cray
+    #: was "already running at full capacity".
+    read_start: float = 0.38
+    read_end: float = 1.72
+    write_level: float = 1.0
+    #: Read activity on a holiday collapses with the human population.
+    holiday_read_factor: float = 0.35
+    #: "write requests increased at the end of the year" -- year-end batch
+    #: crunch while the scientists are away.
+    yearend_write_factor: float = 1.18
+
+    def week_factor(self, week: int) -> float:
+        """Secular multiplier for a trace week (clamped to the trace)."""
+        week = max(0, min(week, TRACE_WEEKS - 1))
+        if self.is_write:
+            factor = self.write_level
+            if _is_yearend_week(week):
+                factor *= self.yearend_write_factor
+            return factor
+        span = max(1, TRACE_WEEKS - 1)
+        return self.read_start + (self.read_end - self.read_start) * week / span
+
+    def holiday_factor(self, is_holiday: bool) -> float:
+        """Multiplier applied on holiday dates."""
+        if not is_holiday:
+            return 1.0
+        if self.is_write:
+            return 1.0  # "the Cray doesn't take a Christmas vacation"
+        return self.holiday_read_factor
+
+
+def _is_yearend_week(week: int) -> bool:
+    """True for trace weeks containing late December."""
+    calendar = TraceCalendar()
+    start, end = calendar.span_of_week(week)
+    midpoint = calendar.datetime_at((start + end) / 2.0)
+    return midpoint.month == 12 and midpoint.day >= 15
+
+
+READ_TREND = SecularTrend(is_write=False)
+WRITE_TREND = SecularTrend(is_write=True)
+
+
+def trend_for(is_write: bool) -> SecularTrend:
+    """The calibrated secular trend for one direction."""
+    return WRITE_TREND if is_write else READ_TREND

@@ -1,0 +1,75 @@
+"""User population model.
+
+NCAR had about 4,000 user accounts (Section 5.1: "each of the 4,000
+users").  Interactive scientists drive reads during working hours; a much
+smaller set of batch production accounts generates the steady write stream.
+Activity is Zipf-skewed -- a few heavy groups dominate, as in any shared
+computing centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import paper
+from repro.util.stats import zipf_weights
+
+#: Skew of user activity (rank-frequency exponent).
+USER_ACTIVITY_SKEW = 0.9
+
+#: Batch production accounts as a fraction of the population.
+BATCH_ACCOUNT_FRACTION = 0.08
+
+#: Probability that a read is issued by the file's owning group rather
+#: than a collaborator.
+OWNER_READ_PROBABILITY = 0.7
+
+
+@dataclass
+class UserPopulation:
+    """Interactive readers and batch writers with Zipf activity."""
+
+    n_users: int = paper.USER_COUNT
+    seed_rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.n_users < 2:
+            raise ValueError("need at least two users")
+        rng = self.seed_rng or np.random.default_rng(0)
+        n_batch = max(1, int(round(self.n_users * BATCH_ACCOUNT_FRACTION)))
+        ids = rng.permutation(self.n_users)
+        self.batch_ids = np.sort(ids[:n_batch])
+        self.interactive_ids = np.sort(ids[n_batch:])
+        self._batch_weights = zipf_weights(self.batch_ids.size, USER_ACTIVITY_SKEW)
+        self._interactive_weights = zipf_weights(
+            self.interactive_ids.size, USER_ACTIVITY_SKEW
+        )
+
+    @staticmethod
+    def scaled(scale: float, rng: Optional[np.random.Generator] = None) -> "UserPopulation":
+        """Population scaled with the workload (but never below 50 users)."""
+        n = max(50, int(round(paper.USER_COUNT * scale)))
+        return UserPopulation(n_users=n, seed_rng=rng)
+
+    def sample_writers(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Batch accounts for ``n`` write sessions."""
+        if n == 0:
+            return np.empty(0, dtype=np.int32)
+        picks = rng.choice(self.batch_ids.size, size=n, p=self._batch_weights)
+        return self.batch_ids[picks].astype(np.int32)
+
+    def sample_readers(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Interactive users for ``n`` read sessions."""
+        if n == 0:
+            return np.empty(0, dtype=np.int32)
+        picks = rng.choice(
+            self.interactive_ids.size, size=n, p=self._interactive_weights
+        )
+        return self.interactive_ids[picks].astype(np.int32)
+
+    def owner_of_directory(self, dir_id: int) -> int:
+        """Deterministic owning user for a directory subtree."""
+        return int(self.interactive_ids[dir_id % self.interactive_ids.size])

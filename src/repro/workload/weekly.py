@@ -1,0 +1,68 @@
+"""Day-of-week activity profiles (Figure 5).
+
+"Read activity is lower on the weekends, since there are fewer researchers
+around to initiate read requests.  Write requests, on the other hand,
+experience little variation over the course of the week, as the Cray CPU
+runs batch jobs all weekend. ... less data is transferred early Monday
+morning than on any other day" (maintenance plus drained weekend queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.timeutil import MONDAY
+
+#: Relative read intensity per day of week, 0 = Sunday (Figure 5 x-axis).
+READ_DAY_FACTORS: Tuple[float, ...] = (0.48, 0.96, 1.06, 1.08, 1.08, 1.04, 0.55)
+
+#: Relative write intensity per day of week: batch jobs run all weekend.
+WRITE_DAY_FACTORS: Tuple[float, ...] = (0.97, 0.90, 1.02, 1.03, 1.03, 1.02, 0.99)
+
+#: Early-Monday maintenance window: the Cray "might be taken down early on
+#: Monday morning for maintenance", and weekend queues have drained.
+MAINTENANCE_DAY = MONDAY
+MAINTENANCE_END_HOUR = 8
+MAINTENANCE_FACTOR = 0.45
+
+
+@dataclass(frozen=True)
+class WeeklyProfile:
+    """Normalized day-of-week factors with the Monday-morning dip."""
+
+    day_factors: Tuple[float, ...]
+    maintenance_factor: float = MAINTENANCE_FACTOR
+
+    def __post_init__(self) -> None:
+        if len(self.day_factors) != 7:
+            raise ValueError("a weekly profile needs exactly 7 factors")
+        if any(f < 0 for f in self.day_factors):
+            raise ValueError("day factors must be non-negative")
+
+    def factor(self, day_of_week: int, hour: int = 12) -> float:
+        """Relative intensity of (day, hour); day 0 = Sunday."""
+        base = self.day_factors[day_of_week]
+        if day_of_week == MAINTENANCE_DAY and hour < MAINTENANCE_END_HOUR:
+            base *= self.maintenance_factor
+        return float(base)
+
+    def weekend_to_weekday(self) -> float:
+        """Mean weekend factor over mean weekday factor."""
+        arr = np.asarray(self.day_factors, dtype=float)
+        weekend = (arr[0] + arr[6]) / 2.0
+        weekday = arr[1:6].mean()
+        if weekday == 0:
+            return float("inf")
+        return float(weekend / weekday)
+
+
+READ_WEEKLY = WeeklyProfile(READ_DAY_FACTORS)
+WRITE_WEEKLY = WeeklyProfile(WRITE_DAY_FACTORS, maintenance_factor=0.7)
+
+
+def weekly_for(is_write: bool) -> WeeklyProfile:
+    """The calibrated weekly profile for one direction."""
+    return WRITE_WEEKLY if is_write else READ_WEEKLY

@@ -1,0 +1,79 @@
+"""Rendering and comparison plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import Comparison, ComparisonRow
+from repro.analysis.render import TextTable, render_cdf, render_series
+from repro.util.stats import CDF
+
+
+def test_text_table_alignment():
+    table = TextTable(["name", "value"], title="demo")
+    table.add_row("alpha", 1)
+    table.add_row("beta", 2.5)
+    out = table.render()
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "alpha" in out and "2.50" in out
+    # All data lines equal width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) <= 2  # header+rows may differ from separator by 0
+
+
+def test_text_table_rejects_bad_row():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_render_cdf_shape():
+    cdf = CDF.from_samples(np.arange(1, 101))
+    out = render_cdf(cdf, width=40, height=8, title="t")
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert len(lines) == 8 + 3  # title + bars + axis + label
+    assert "100%" in lines[1]
+
+
+def test_render_cdf_log_scale():
+    cdf = CDF.from_samples([1, 10, 100, 1000])
+    out = render_cdf(cdf, log_x=True, x_label="MB")
+    assert "log scale" in out
+
+
+def test_render_series():
+    out = render_series(
+        [0, 1, 2, 3],
+        [("reads", [1, 2, 3, 4]), ("writes", [2, 2, 2, 2])],
+        width=20,
+        height=6,
+        title="rates",
+    )
+    assert "reads" in out and "writes" in out
+    assert out.splitlines()[0] == "rates"
+
+
+def test_comparison_rows_and_errors():
+    comp = Comparison("test")
+    comp.add("x", 10.0, 11.0)
+    comp.add("y", 0.5, 0.5, unit="s")
+    assert comp.row("x").relative_error == pytest.approx(0.1)
+    assert comp.max_relative_error() == pytest.approx(0.1)
+    assert comp.within(0.2)
+    assert not comp.within(0.05)
+    assert comp.within(0.01, labels=["y"])
+    with pytest.raises(KeyError):
+        comp.row("zz")
+
+
+def test_comparison_render_includes_units_and_notes():
+    comp = Comparison("t")
+    comp.add("lat", 100.0, 98.0, unit="s", note="close")
+    out = comp.render()
+    assert "[s]" in out and "close" in out and "2.0%" in out
+
+
+def test_comparison_row_zero_paper_value():
+    row = ComparisonRow("z", 0.0, 0.25)
+    assert row.relative_error == 0.25

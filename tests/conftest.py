@@ -1,0 +1,67 @@
+"""Shared fixtures: small synthetic traces reused across the suite.
+
+Trace generation is the expensive step, so the suite builds a handful of
+session-scoped artifacts and every test reads from them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.namespace.dirtree import NamespaceProfile, generate_namespace
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import generate_trace
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> WorkloadConfig:
+    """Smallest useful workload (fast unit tests)."""
+    return WorkloadConfig(scale=0.002, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_config):
+    """~7-8k events; enough for structural assertions."""
+    return generate_trace(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_records(tiny_trace):
+    """Materialized records of the tiny trace."""
+    return tiny_trace.records()
+
+
+@pytest.fixture(scope="session")
+def calib_config() -> WorkloadConfig:
+    """Calibration-scale workload (integration tests)."""
+    return WorkloadConfig(scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="session")
+def calib_trace(calib_config):
+    """~35k events; statistics are stable at this size."""
+    return generate_trace(calib_config)
+
+
+@pytest.fixture(scope="session")
+def calib_records(calib_trace):
+    """Materialized records of the calibration trace."""
+    return calib_trace.records()
+
+
+@pytest.fixture(scope="session")
+def dense_trace():
+    """Short-horizon trace with full-scale arrival density (no latencies),
+    used by the DES and interarrival tests.  scale/days = 0.02/14.62 keeps
+    arrival density at the full-scale 1990-92 level."""
+    config = WorkloadConfig(
+        scale=0.02, seed=3, duration_seconds=14.62 * DAY, fill_latencies=False
+    )
+    return generate_trace(config)
+
+
+@pytest.fixture(scope="session")
+def small_namespace():
+    """A standalone namespace (no trace) for structural tests."""
+    return generate_namespace(NamespaceProfile.scaled(0.01), seed=11)

@@ -1,0 +1,165 @@
+"""Paper constants, Study pipeline, experiment registry, CLI tests."""
+
+import pytest
+
+from repro.core import paper
+from repro.core.cli import build_parser, main
+from repro.core.experiments import (
+    experiment_ids,
+    needs_dense_study,
+    run_experiment,
+)
+from repro.core.study import Study, StudyConfig
+from repro.trace.record import Device
+from repro.workload.config import WorkloadConfig
+
+
+# ---------------------------------------------------------------------------
+# Paper constants sanity
+
+
+def test_table3_internal_consistency():
+    reads = paper.TABLE3[(None, False)]
+    writes = paper.TABLE3[(None, True)]
+    assert reads.references + writes.references == paper.ANALYZED_REFERENCES
+    assert reads.gb_transferred + writes.gb_transferred == pytest.approx(
+        paper.TABLE3_TOTAL.gb_transferred, rel=1e-4
+    )
+
+
+def test_device_totals_sum_to_grand_total():
+    total_refs = sum(c.references for c in paper.TABLE3_DEVICE_TOTALS.values())
+    assert total_refs == paper.ANALYZED_REFERENCES
+    shares = sum(paper.DEVICE_REFERENCE_SHARES.values())
+    assert shares == pytest.approx(1.0)
+
+
+def test_error_fraction_value():
+    assert paper.ERROR_FRACTION == pytest.approx(0.0476, abs=0.0005)
+    # The published numbers do not subtract exactly (3,688,817 - 175,633 =
+    # 3,513,184 vs the stated 3,515,794) -- an inconsistency in the paper
+    # itself; we keep all three constants as published.
+    assert paper.RAW_REFERENCES - paper.ERROR_REFERENCES == pytest.approx(
+        paper.ANALYZED_REFERENCES, rel=0.001
+    )
+
+
+def test_read_write_ratio_is_two_to_one():
+    assert paper.READ_WRITE_RATIO == pytest.approx(2.0, abs=0.02)
+
+
+def test_storage_pyramid_related_constants():
+    assert paper.SILO_CARTRIDGES * paper.CARTRIDGE_CAPACITY_BYTES == 1_200_000_000_000
+
+
+# ---------------------------------------------------------------------------
+# Study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(StudyConfig(workload=WorkloadConfig(scale=0.004, seed=7)))
+
+
+def test_study_lazy_trace(study):
+    assert study.trace.n_events > 0
+    assert study.records()  # materializes without DES
+
+
+def test_study_streams(study):
+    good = sum(1 for _ in study.good_records())
+    deduped = sum(1 for _ in study.deduped_records())
+    assert 0 < deduped < good < study.trace.n_events + 1
+
+
+def test_study_table_comparisons(study):
+    t3 = study.table3()
+    assert t3.row("error fraction").relative_error < 0.1
+    t4 = study.table4()
+    assert t4.row("files (scaled)").relative_error < 0.01
+
+
+def test_study_metrics_requires_simulation(study):
+    with pytest.raises(ValueError):
+        _ = study.mss_metrics
+
+
+def test_dense_study_runs_des():
+    dense = Study(StudyConfig.dense(scale=0.004, seed=7, days=4.0))
+    records = dense.records()
+    assert dense.mss_metrics.total_completed == sum(
+        1 for r in records if not r.is_error
+    )
+    good = [r for r in records if not r.is_error]
+    assert all(r.startup_latency > 0 for r in good)
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry
+
+
+def test_registry_covers_every_artifact():
+    ids = set(experiment_ids())
+    expected = {
+        "T1", "T2", "T3", "T4",
+        "F1", "F2", "F3", "F4", "F5", "F6",
+        "F7", "F8", "F9", "F10", "F11", "F12",
+        "ABSTRACT", "S6",
+    }
+    assert expected <= ids
+
+
+def test_dense_flags():
+    assert needs_dense_study("F3")
+    assert needs_dense_study("F7")
+    assert not needs_dense_study("T3")
+
+
+def test_run_experiment_unknown_id(study):
+    with pytest.raises(ValueError):
+        run_experiment("T99", study)
+
+
+@pytest.mark.parametrize("exp_id", ["T1", "T4", "F1", "F2", "F11", "F12"])
+def test_cheap_experiments_run(study, exp_id):
+    result = run_experiment(exp_id, study)
+    assert result.experiment_id == exp_id
+    assert result.render()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["generate", "--scale", "0.002", "out.rt"])
+    assert args.scale == 0.002
+
+
+def test_cli_generate_and_analyze(tmp_path, capsys):
+    out = tmp_path / "t.rt"
+    assert main(["generate", "--scale", "0.002", "--seed", "7", str(out)]) == 0
+    assert out.exists()
+    assert main(["analyze", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "Table 3" in printed
+
+
+def test_cli_policies(capsys):
+    code = main([
+        "policies", "--scale", "0.002", "--seed", "7",
+        "--capacity-fraction", "0.02",
+        "--policy", "lru", "--policy", "stp",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "lru" in printed and "stp" in printed
+
+
+def test_cli_replay(tmp_path, capsys):
+    out = tmp_path / "t.rt"
+    main(["generate", "--scale", "0.002", "--seed", "7", "--days", "4", str(out)])
+    assert main(["replay", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "startup" in printed

@@ -1,0 +1,151 @@
+"""Managed-disk cache tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hsm.cache import CacheConfig, ManagedDiskCache
+from repro.migration.basic import LRUPolicy
+from repro.migration.stp import stp_14
+
+
+def _cache(capacity=1000, writeback_delay=100.0, policy=None, **kwargs):
+    config = CacheConfig(
+        capacity_bytes=capacity, writeback_delay=writeback_delay, **kwargs
+    )
+    return ManagedDiskCache(config, policy or LRUPolicy())
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=10, high_watermark=0.5, low_watermark=0.9)
+
+
+def test_read_miss_then_hit():
+    cache = _cache()
+    first = cache.access(1, 100, 0.0, is_write=False)
+    assert not first.hit
+    assert first.staged_bytes == 100
+    second = cache.access(1, 100, 10.0, is_write=False)
+    assert second.hit
+    metrics = cache.metrics
+    assert metrics.reads == 2
+    assert metrics.read_misses == 1
+    assert metrics.compulsory_misses == 1
+    assert metrics.read_miss_ratio == pytest.approx(0.5)
+
+
+def test_compulsory_vs_capacity_misses():
+    cache = _cache(capacity=250, high_watermark=1.0, low_watermark=0.9)
+    cache.access(1, 200, 0.0, is_write=False)   # compulsory
+    cache.access(2, 200, 1.0, is_write=False)   # compulsory; evicts 1
+    cache.access(1, 200, 2.0, is_write=False)   # capacity miss
+    assert cache.metrics.read_misses == 3
+    assert cache.metrics.compulsory_misses == 2
+    assert cache.metrics.capacity_miss_ratio == pytest.approx(1 / 3)
+
+
+def test_write_makes_dirty_then_flushes():
+    cache = _cache(writeback_delay=50.0)
+    cache.access(1, 100, 0.0, is_write=True)
+    assert cache.is_dirty(1)
+    assert cache.metrics.tape_writes == 0
+    cache.flush_due(60.0)
+    assert not cache.is_dirty(1)
+    assert cache.metrics.tape_writes == 1
+    assert cache.metrics.bytes_flushed == 100
+
+
+def test_write_through_mode():
+    cache = _cache(writeback_delay=None)
+    cache.access(1, 100, 0.0, is_write=True)
+    assert not cache.is_dirty(1)
+    assert cache.metrics.tape_writes == 1
+
+
+def test_rewrite_absorbs_pending_flush():
+    cache = _cache(writeback_delay=100.0)
+    cache.access(1, 100, 0.0, is_write=True)
+    cache.access(1, 100, 10.0, is_write=True)   # re-written before flushing
+    assert cache.metrics.rewrites_absorbed == 1
+    cache.flush_due(200.0)
+    # Only one tape write for two logical writes: lazy write-back pays off.
+    assert cache.metrics.tape_writes == 1
+
+
+def test_eviction_of_dirty_file_forces_flush():
+    cache = _cache(capacity=250, writeback_delay=1e9,
+                   high_watermark=1.0, low_watermark=0.9)
+    cache.access(1, 200, 0.0, is_write=True)
+    cache.access(2, 200, 1.0, is_write=False)   # forces eviction of dirty 1
+    assert cache.metrics.forced_flushes == 1
+    assert cache.metrics.tape_writes == 1
+    assert not cache.is_resident(1)
+
+
+def test_watermark_eviction_to_low():
+    cache = _cache(capacity=1000, high_watermark=0.8, low_watermark=0.5)
+    for i in range(7):
+        cache.access(i, 100, float(i), is_write=False)
+    # Usage 700; adding 200 crosses 800 -> evict down to 500 - incoming.
+    cache.access(99, 200, 10.0, is_write=False)
+    assert cache.usage_bytes <= 500
+    assert cache.metrics.evictions >= 3
+
+
+def test_file_larger_than_cache_rejected():
+    cache = _cache(capacity=100)
+    with pytest.raises(ValueError):
+        cache.access(1, 500, 0.0, is_write=False)
+    with pytest.raises(ValueError):
+        cache.access(1, 0, 0.0, is_write=False)
+
+
+def test_flush_all():
+    cache = _cache(writeback_delay=1e9)
+    cache.access(1, 100, 0.0, is_write=True)
+    cache.access(2, 100, 1.0, is_write=True)
+    assert cache.flush_all() == 2
+    assert cache.metrics.tape_writes == 2
+
+
+def test_span_tracking():
+    cache = _cache()
+    cache.access(1, 10, 100.0, is_write=False)
+    cache.access(2, 10, 400.0, is_write=False)
+    assert cache.metrics.span_seconds == pytest.approx(300.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),    # file id
+            st.integers(min_value=1, max_value=400),   # size
+            st.booleans(),                             # is_write
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+    st.sampled_from(["lru", "stp"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_invariants_hold_under_any_workload(events, policy_name):
+    """Capacity never exceeded; policy and cache agree; dirty <= resident."""
+    policy = LRUPolicy() if policy_name == "lru" else stp_14()
+    cache = _cache(capacity=1000, writeback_delay=500.0, policy=policy)
+    sizes = {}
+    time = 0.0
+    for file_id, size, is_write in events:
+        # Keep a stable size per file id, as real files have.
+        size = sizes.setdefault(file_id, size)
+        time += 10.0
+        cache.access(file_id, size, time, is_write)
+        cache.check_invariants()
+    cache.flush_all()
+    cache.check_invariants()
+    metrics = cache.metrics
+    assert metrics.reads + metrics.writes == len(events)
+    assert metrics.read_hits + metrics.read_misses == metrics.reads
+    assert metrics.compulsory_misses <= metrics.read_misses

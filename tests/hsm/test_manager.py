@@ -1,0 +1,186 @@
+"""HSM manager, prefetch, metrics and policy-ordering tests."""
+
+import pytest
+
+from repro.hsm.manager import HSM, HSMConfig, capacity_sweep, events_from_trace, run_policy
+from repro.hsm.metrics import HSMMetrics
+from repro.hsm.prefetch import PrefetchConfig, SequentialPrefetcher
+from repro.migration.basic import LRUPolicy
+from repro.util.units import DAY
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+
+
+def test_metrics_ratios():
+    m = HSMMetrics(reads=100, read_hits=90, read_misses=10, compulsory_misses=4)
+    assert m.read_miss_ratio == pytest.approx(0.10)
+    assert m.read_hit_ratio == pytest.approx(0.90)
+    assert m.capacity_miss_ratio == pytest.approx(0.06)
+
+
+def test_metrics_empty():
+    m = HSMMetrics()
+    assert m.read_miss_ratio == 0.0
+    assert m.person_minutes_per_day() == 0.0
+    assert m.prefetch_accuracy() == 0.0
+
+
+def test_person_minutes_formula():
+    # 10 misses/day at 85 s each = 850 s/day ~= 14.2 person-minutes.
+    m = HSMMetrics(reads=100, read_misses=10, span_seconds=1 * DAY)
+    assert m.person_minutes_per_day(stall_seconds=85.0) == pytest.approx(
+        10 * 85 / 60.0
+    )
+
+
+def test_mean_read_latency_interpolates():
+    m = HSMMetrics(reads=10, read_hits=5, read_misses=5)
+    assert m.mean_read_latency(hit_latency=10.0, miss_latency=100.0) == pytest.approx(55.0)
+
+
+# ---------------------------------------------------------------------------
+# Prefetcher
+
+
+def test_prefetcher_candidates(small_namespace):
+    big_dir = max(small_namespace.directories, key=lambda d: d.file_count)
+    first = small_namespace.files[big_dir.file_ids[0]]
+    prefetcher = SequentialPrefetcher(small_namespace, PrefetchConfig(depth=2))
+    candidates = prefetcher.candidates(first.file_id)
+    assert len(candidates) == 2
+    assert candidates[0][0] == big_dir.file_ids[1]
+
+
+def test_prefetcher_disabled(small_namespace):
+    prefetcher = SequentialPrefetcher(
+        small_namespace, PrefetchConfig(depth=2, enabled=False)
+    )
+    assert prefetcher.candidates(0) == []
+
+
+def test_prefetcher_hit_consumes_once(small_namespace):
+    prefetcher = SequentialPrefetcher(small_namespace)
+    prefetcher.note_prefetched(5)
+    assert prefetcher.consume_hit(5)
+    assert not prefetcher.consume_hit(5)
+
+
+def test_prefetcher_cancel(small_namespace):
+    prefetcher = SequentialPrefetcher(small_namespace)
+    prefetcher.note_prefetched(5)
+    prefetcher.cancel(5)
+    assert not prefetcher.consume_hit(5)
+
+
+# ---------------------------------------------------------------------------
+# HSM end to end
+
+
+def _synthetic_events():
+    """A small, repetitive reference stream with reuse."""
+    events = []
+    time = 0.0
+    for cycle in range(8):
+        for fid in range(12):
+            time += 3600.0
+            events.append((fid, 50 + fid * 10, time, cycle == 0))
+    return events
+
+
+def test_hsm_run_accumulates():
+    events = _synthetic_events()
+    config = HSMConfig.with_capacity(capacity_bytes=10_000)
+    hsm = HSM(config, LRUPolicy())
+    metrics = hsm.run(events)
+    assert metrics.reads + metrics.writes == len(events)
+    assert metrics.read_miss_ratio < 0.5   # plenty of reuse and room
+
+
+def test_hsm_small_cache_misses_more():
+    events = _synthetic_events()
+    big = run_policy(events, "lru", capacity_bytes=10_000)
+    small = run_policy(events, "lru", capacity_bytes=300)
+    assert small.read_miss_ratio > big.read_miss_ratio
+
+
+def test_hsm_prefetch_requires_namespace():
+    config = HSMConfig.with_capacity(1000, prefetch=True)
+    with pytest.raises(ValueError):
+        HSM(config, LRUPolicy(), namespace=None)
+
+
+def test_events_from_trace_structure(tiny_trace):
+    events = events_from_trace(tiny_trace)
+    assert events, "expected a non-empty event stream"
+    times = [t for _, _, t, _ in events]
+    assert times == sorted(times)
+    for file_id, size, _, is_write in events[:100]:
+        assert size >= 1
+        assert 0 <= file_id < tiny_trace.namespace.file_count
+        assert isinstance(is_write, bool)
+
+
+def test_events_from_trace_dedupe_reduces(tiny_trace):
+    deduped = events_from_trace(tiny_trace, deduped=True)
+    raw = events_from_trace(tiny_trace, deduped=False)
+    assert len(deduped) < len(raw)
+
+
+def test_opt_is_lower_bound(tiny_trace):
+    events = events_from_trace(tiny_trace)
+    capacity = int(tiny_trace.namespace.total_bytes * 0.02)
+    opt = run_policy(events, "opt", capacity, namespace=tiny_trace.namespace)
+    lru = run_policy(events, "lru", capacity, namespace=tiny_trace.namespace)
+    stp = run_policy(events, "stp", capacity, namespace=tiny_trace.namespace)
+    assert opt.read_miss_ratio <= lru.read_miss_ratio + 1e-9
+    assert opt.read_miss_ratio <= stp.read_miss_ratio + 1e-9
+
+
+def test_policy_ordering_matches_literature(calib_trace):
+    """Lawrie/Smith: STP best of the simple online policies; size-only and
+    MRU are poor."""
+    events = events_from_trace(calib_trace)
+    capacity = int(calib_trace.namespace.total_bytes * 0.015)
+    results = {
+        name: run_policy(events, name, capacity, namespace=calib_trace.namespace)
+        for name in ("stp", "lru", "largest-first", "mru", "random")
+    }
+    assert results["stp"].read_miss_ratio <= results["lru"].read_miss_ratio + 0.01
+    assert results["stp"].read_miss_ratio < results["largest-first"].read_miss_ratio
+    assert results["stp"].read_miss_ratio < results["mru"].read_miss_ratio
+    assert results["stp"].read_miss_ratio < results["random"].read_miss_ratio
+
+
+def test_capacity_sweep_monotone(tiny_trace):
+    events = events_from_trace(tiny_trace)
+    total = tiny_trace.namespace.total_bytes
+    fractions = [0.005, 0.02, 0.08]
+    misses = [
+        metrics.read_miss_ratio
+        for _, metrics in capacity_sweep(events, "stp", total, fractions)
+    ]
+    assert misses[0] >= misses[1] >= misses[2]
+
+
+def test_lazy_writeback_saves_tape_writes(tiny_trace):
+    events = events_from_trace(tiny_trace)
+    capacity = int(tiny_trace.namespace.total_bytes * 0.05)
+    lazy = run_policy(events, "stp", capacity, writeback_delay=8 * 3600.0)
+    eager = run_policy(events, "stp", capacity, writeback_delay=None)
+    assert lazy.tape_writes <= eager.tape_writes
+    assert lazy.rewrites_absorbed >= 0
+
+
+def test_prefetch_improves_miss_ratio(calib_trace):
+    """Sequential prefetch should convert sibling misses into hits."""
+    events = events_from_trace(calib_trace)
+    capacity = int(calib_trace.namespace.total_bytes * 0.03)
+    plain = run_policy(events, "stp", capacity, namespace=calib_trace.namespace)
+    fetched = run_policy(
+        events, "stp", capacity, namespace=calib_trace.namespace, prefetch=True
+    )
+    assert fetched.prefetches_issued > 0
+    assert fetched.prefetch_hits > 0
+    assert fetched.read_miss_ratio < plain.read_miss_ratio

@@ -1,0 +1,188 @@
+"""Device-level tests: disk array, tape libraries, operators."""
+
+import numpy as np
+import pytest
+
+from repro.mss.devices import stable_hash
+from repro.mss.disk import DiskArray, DiskConfig
+from repro.mss.kernel import Simulator
+from repro.mss.operators import OperatorConfig, OperatorPool
+from repro.mss.request import MSSRequest, Phase
+from repro.mss.tape import ShelfStation, TapeConfig, TapeSilo
+from repro.trace.record import Device
+from repro.util.rng import make_rng
+from repro.util.units import HOUR, MB
+
+
+def _request(request_id, path, size, is_write, device, when=0.0):
+    return MSSRequest(
+        request_id=request_id,
+        path=path,
+        size=size,
+        is_write=is_write,
+        device=device,
+        arrival_time=when,
+        directory=path.rsplit("/", 1)[0] or "/",
+    )
+
+
+def test_stable_hash_is_deterministic():
+    assert stable_hash("/a/b") == stable_hash("/a/b")
+    assert stable_hash("/a/b") != stable_hash("/a/c")
+
+
+# ---------------------------------------------------------------------------
+# Disk
+
+
+def test_disk_serves_request():
+    sim = Simulator()
+    disk = DiskArray(sim, make_rng(1))
+    done = []
+    request = _request(0, "/u/f.dat", 4 * MB, False, Device.MSS_DISK)
+    disk.submit(request, done.append)
+    sim.run()
+    assert done and done[0].phase is Phase.TRANSFERRING or request.completion_time
+    assert request.first_byte_time is not None
+    assert request.completion_time > request.first_byte_time
+    assert request.startup_latency > 0
+
+
+def test_disk_directory_affinity():
+    sim = Simulator()
+    disk = DiskArray(sim, make_rng(2))
+    a = _request(0, "/u/ccm/h1.nc", MB, False, Device.MSS_DISK)
+    b = _request(1, "/u/ccm/h2.nc", MB, False, Device.MSS_DISK)
+    assert disk.spindle_of(a) == disk.spindle_of(b)
+
+
+def test_disk_same_spindle_serializes():
+    sim = Simulator()
+    disk = DiskArray(sim, make_rng(3), DiskConfig(n_spindles=4, n_channels=4))
+    done = []
+    first = _request(0, "/u/d/a", 20 * MB, False, Device.MSS_DISK)
+    second = _request(1, "/u/d/b", 1 * MB, False, Device.MSS_DISK)
+    disk.submit(first, done.append)
+    disk.submit(second, done.append)
+    sim.run()
+    # The second request waited for the first's 10-second transfer.
+    assert second.device_queue_time > 5.0
+
+
+def test_disk_completion_counter():
+    sim = Simulator()
+    disk = DiskArray(sim, make_rng(4))
+    for i in range(5):
+        disk.submit(
+            _request(i, f"/u/x{i}/f", MB, bool(i % 2), Device.MSS_DISK),
+            lambda r: None,
+        )
+    sim.run()
+    assert disk.completed == 5
+
+
+# ---------------------------------------------------------------------------
+# Tape silo
+
+
+def test_silo_first_access_mounts():
+    sim = Simulator()
+    silo = TapeSilo(sim, make_rng(5))
+    request = _request(0, "/u/big/h00001.nc", 80 * MB, False, Device.TAPE_SILO)
+    silo.submit(request, lambda r: None)
+    sim.run()
+    assert request.mount_was_needed
+    assert silo.mounts_performed == 1
+    assert request.mount_time > 0
+    assert request.seek_time > 0
+
+
+def test_silo_cartridge_affinity_skips_mount():
+    sim = Simulator()
+    silo = TapeSilo(sim, make_rng(6))
+    first = _request(0, "/u/big/h00001.nc", 80 * MB, False, Device.TAPE_SILO)
+    # Same directory, adjacent sequence number -> same cartridge.
+    second = _request(1, "/u/big/h00002.nc", 80 * MB, False, Device.TAPE_SILO)
+    assert silo.cartridge_of(first) == silo.cartridge_of(second)
+    silo.submit(first, lambda r: None)
+    silo.submit(second, lambda r: None)
+    sim.run()
+    assert silo.mounts_performed == 1
+    assert silo.mount_hits == 1
+    assert silo.mount_hit_ratio == pytest.approx(0.5)
+
+
+def test_silo_distant_sequences_use_other_cartridges():
+    silo = TapeSilo(Simulator(), make_rng(7))
+    a = _request(0, "/u/big/h00001.nc", MB, False, Device.TAPE_SILO)
+    b = _request(1, "/u/big/h00099.nc", MB, False, Device.TAPE_SILO)
+    assert silo.cartridge_of(a) != silo.cartridge_of(b)
+
+
+def test_silo_write_seeks_shorter_than_reads():
+    rng = make_rng(8)
+    config = TapeConfig()
+    sim = Simulator()
+    silo = TapeSilo(sim, rng, config)
+    reads, writes = [], []
+    for i in range(40):
+        r = _request(i, f"/u/d{i}/h1.nc", MB, False, Device.TAPE_SILO)
+        silo.submit(r, lambda q: reads.append(q.seek_time))
+    sim.run()
+    sim2 = Simulator()
+    silo2 = TapeSilo(sim2, make_rng(9), config)
+    for i in range(40):
+        w = _request(i, f"/u/d{i}/h1.nc", MB, True, Device.TAPE_SILO)
+        silo2.submit(w, lambda q: writes.append(q.seek_time))
+    sim2.run()
+    assert np.mean(writes) < np.mean(reads)
+
+
+def test_same_cartridge_requests_share_a_drive():
+    sim = Simulator()
+    silo = TapeSilo(sim, make_rng(10))
+    served = []
+    for i in range(3):
+        request = _request(i, f"/u/run/h0000{i}.nc", 10 * MB, False, Device.TAPE_SILO)
+        silo.submit(request, lambda r: served.append(r.served_by))
+    sim.run()
+    assert len(set(served)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Shelf + operators
+
+
+def test_shelf_mount_is_slow():
+    sim = Simulator()
+    operators = OperatorPool(sim, make_rng(11))
+    shelf = ShelfStation(sim, make_rng(12), operators)
+    request = _request(0, "/arch/old/tape1.tar", 40 * MB, False, Device.TAPE_SHELF)
+    shelf.submit(request, lambda r: None)
+    sim.run()
+    assert request.mount_time > 60.0
+    assert operators.fetches_completed == 1
+
+
+def test_operator_pool_queues_fetches():
+    sim = Simulator()
+    operators = OperatorPool(
+        sim, make_rng(13), OperatorConfig(n_operators=1, distraction_probability=0.0)
+    )
+    done_times = []
+    operators.fetch(lambda: done_times.append(sim.now))
+    operators.fetch(lambda: done_times.append(sim.now))
+    sim.run()
+    assert len(done_times) == 2
+    assert done_times[1] > done_times[0]
+
+
+def test_operator_night_shift_slower():
+    config = OperatorConfig(distraction_probability=0.0)
+    day_sim = Simulator(start_time=14 * HOUR)
+    day_ops = OperatorPool(day_sim, make_rng(14), config)
+    night_sim = Simulator(start_time=2 * HOUR)
+    night_ops = OperatorPool(night_sim, make_rng(14), config)
+    day = np.mean([day_ops.sample_fetch_seconds() for _ in range(500)])
+    night = np.mean([night_ops.sample_fetch_seconds() for _ in range(500)])
+    assert night > 1.2 * day

@@ -1,0 +1,82 @@
+"""Optical-jukebox device tests (Section 5.4 what-if)."""
+
+import numpy as np
+import pytest
+
+from repro.mss.disk import DiskArray
+from repro.mss.jukebox import JukeboxConfig, OpticalJukebox
+from repro.mss.kernel import Simulator
+from repro.mss.request import MSSRequest
+from repro.trace.record import Device
+from repro.util.rng import make_rng
+from repro.util.units import MB
+
+
+def _request(i, path, size, when=0.0):
+    return MSSRequest(
+        request_id=i, path=path, size=size, is_write=False,
+        device=Device.MSS_DISK, arrival_time=when,
+        directory=path.rsplit("/", 1)[0] or "/",
+    )
+
+
+def test_jukebox_serves_small_file():
+    sim = Simulator()
+    jukebox = OpticalJukebox(sim, make_rng(1))
+    request = _request(0, "/u/home/notes.txt", 200_000)
+    jukebox.submit(request, lambda r: None)
+    sim.run()
+    assert request.completion_time is not None
+    # First byte within Table 1's ~7 s access plus the swap.
+    assert request.startup_latency < 25.0
+    assert jukebox.swaps == 1
+
+
+def test_jukebox_platter_affinity():
+    sim = Simulator()
+    jukebox = OpticalJukebox(sim, make_rng(2))
+    done = []
+    requests = [
+        _request(i, f"/u/home/f{i}.txt", 100_000, when=30.0 * i) for i in range(3)
+    ]
+    for r in requests:
+        sim.schedule_at(r.arrival_time, lambda rr=r: jukebox.submit(rr, done.append))
+    sim.run()
+    # Same directory -> same platter -> one swap, two hits.
+    assert jukebox.swaps == 1
+    assert jukebox.platter_hits == 2
+
+
+def test_jukebox_slow_transfer():
+    """0.25 MB/s: a 1 MB file takes ~4 s to stream."""
+    sim = Simulator()
+    jukebox = OpticalJukebox(sim, make_rng(3))
+    request = _request(0, "/u/home/big.dat", 1 * MB)
+    jukebox.submit(request, lambda r: None)
+    sim.run()
+    assert request.transfer_time == pytest.approx(1 * MB / JukeboxConfig().transfer_rate, rel=0.1)
+
+
+def test_jukebox_vs_disk_tradeoff():
+    """The Table 1 trade-off on live devices: the jukebox wins time to
+    first byte against a *queued* disk only for small transfers."""
+    rng = make_rng(4)
+    sizes = [200_000] * 30
+    sim_j = Simulator()
+    jukebox = OpticalJukebox(sim_j, make_rng(5))
+    juke_requests = []
+    for i, size in enumerate(sizes):
+        r = _request(i, f"/u/d{i % 3}/f{i}", size, when=20.0 * i)
+        juke_requests.append(r)
+        sim_j.schedule_at(r.arrival_time, lambda rr=r: jukebox.submit(rr, lambda q: None))
+    sim_j.run()
+    juke_latency = np.mean([r.startup_latency for r in juke_requests])
+    # Small-file first-byte latency stays in the seconds range.
+    assert juke_latency < 30.0
+    # But large files would crawl: 80 MB at 0.25 MB/s = 320 s of transfer.
+    sim2 = Simulator()
+    jukebox2 = OpticalJukebox(sim2, make_rng(6))
+    big = _request(0, "/u/big/model.nc", 80 * MB)
+    jukebox2.submit(big, lambda q: None)
+    sim2.run()
+    assert big.transfer_time > 300.0

@@ -1,0 +1,73 @@
+"""MSCP / bitfile-mover tests: routing, concurrency, queueing."""
+
+import pytest
+
+from repro.mss.disk import DiskArray
+from repro.mss.kernel import Simulator
+from repro.mss.mscp import MSCP, MSCPConfig
+from repro.mss.request import MSSRequest, Phase
+from repro.trace.record import Device
+from repro.util.rng import make_rng
+from repro.util.units import MB
+
+
+def _system(n_movers=2):
+    sim = Simulator()
+    disk = DiskArray(sim, make_rng(1))
+    mscp = MSCP(
+        sim,
+        make_rng(2),
+        {Device.MSS_DISK: disk},
+        MSCPConfig(n_movers=n_movers, processing_mean=0.1),
+    )
+    return sim, disk, mscp
+
+
+def _request(i, path="/u/d/f", size=MB):
+    return MSSRequest(
+        request_id=i, path=f"{path}{i}", size=size, is_write=False,
+        device=Device.MSS_DISK, arrival_time=0.0, directory="/u/d",
+    )
+
+
+def test_mscp_completes_and_counts():
+    sim, disk, mscp = _system()
+    done = []
+    mscp.submit(_request(0), done.append)
+    sim.run()
+    assert mscp.submitted == 1
+    assert mscp.completed == 1
+    assert done[0].phase is Phase.COMPLETE
+    assert done[0].mscp_grant_time is not None
+
+
+def test_mover_limit_queues_requests():
+    sim, disk, mscp = _system(n_movers=1)
+    done = []
+    # Two big requests: the second waits for a mover, not just the disk.
+    mscp.submit(_request(0, size=40 * MB), done.append)
+    mscp.submit(_request(1, size=1 * MB), done.append)
+    sim.run()
+    assert len(done) == 2
+    second = next(r for r in done if r.request_id == 1)
+    assert second.mscp_queue_time > 5.0
+    assert mscp.mover_queue_wait > 0
+
+
+def test_many_movers_avoid_mscp_queueing():
+    sim, disk, mscp = _system(n_movers=16)
+    done = []
+    for i in range(4):
+        mscp.submit(_request(i, path=f"/u/d{i}/f"), done.append)
+    sim.run()
+    assert all(r.mscp_queue_time < 0.5 for r in done)
+
+
+def test_mscp_rejects_unrouted_device():
+    sim, disk, mscp = _system()
+    bad = MSSRequest(
+        request_id=0, path="/f", size=1, is_write=False,
+        device=Device.TAPE_SILO, arrival_time=0.0,
+    )
+    with pytest.raises(ValueError):
+        mscp.submit(bad, lambda r: None)

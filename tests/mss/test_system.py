@@ -1,0 +1,149 @@
+"""MSCP, network topology, metrics, and full-system replay tests."""
+
+import numpy as np
+import pytest
+
+from repro.mss.metrics import MetricsCollector
+from repro.mss.network import ncar_topology
+from repro.mss.request import MSSRequest
+from repro.mss.system import MSSConfig, MSSSystem, replay_trace
+from repro.trace.record import Device, make_read, make_write
+from repro.util.units import MB
+
+
+# ---------------------------------------------------------------------------
+# Network topology (Figure 2)
+
+
+def test_topology_nodes_and_networks():
+    topo = ncar_topology()
+    assert "cray-ymp" in topo.nodes
+    assert "ibm-3090" in topo.nodes
+    assert len(topo.links_by_network("MASnet")) == 4
+    assert len(topo.links_by_network("LDN")) >= 3
+
+
+def test_topology_neighbors():
+    topo = ncar_topology()
+    assert "ibm-3090" in topo.neighbors("cray-ymp")
+    assert "mss-disk" in topo.neighbors("cray-ymp")
+
+
+def test_topology_path_bandwidth():
+    topo = ncar_topology()
+    direct = topo.path_bandwidth(["cray-ymp", "mss-disk"])
+    through_3090 = min(
+        topo.path_bandwidth(["cray-ymp", "ibm-3090"]),
+        topo.path_bandwidth(["ibm-3090", "mss-disk"]),
+    )
+    # The LDN direct path beats the MASnet detour (Section 3.1).
+    assert direct > through_3090
+
+
+def test_topology_validation():
+    topo = ncar_topology()
+    with pytest.raises(ValueError):
+        topo.path_bandwidth(["cray-ymp"])
+    with pytest.raises(ValueError):
+        topo.path_bandwidth(["cray-ymp", "vaxen"])  # no direct link
+    with pytest.raises(ValueError):
+        topo.add_node("cray-ymp")
+    with pytest.raises(ValueError):
+        topo.add_link("cray-ymp", "nonexistent", "LDN", MB)
+
+
+# ---------------------------------------------------------------------------
+# System-level behaviour
+
+
+def test_submit_and_run_single_request():
+    system = MSSSystem(MSSConfig(seed=1))
+    request = system.submit("/u/f.dat", 4 * MB, False, Device.MSS_DISK, when=10.0)
+    system.run()
+    assert request.completion_time is not None
+    assert request.arrival_time == 10.0
+    assert request.startup_latency > 0
+    assert system.metrics.total_completed == 1
+
+
+def test_submit_rejects_unknown_device():
+    system = MSSSystem(MSSConfig(seed=1))
+    with pytest.raises(ValueError):
+        system.mscp.submit(
+            MSSRequest(0, "/f", 1, False, Device.CRAY, 0.0), lambda r: None
+        )
+
+
+def test_replay_preserves_record_count_and_order(dense_trace):
+    records = dense_trace.records()[:2000]
+    replayed, metrics = replay_trace(records, MSSConfig(seed=2))
+    assert len(replayed) == len(records)
+    for original, new in zip(records, replayed):
+        assert new.mss_path == original.mss_path
+        assert new.start_time == original.start_time
+        assert new.file_size == original.file_size
+    assert metrics.total_completed == sum(1 for r in records if not r.is_error)
+
+
+def test_replay_fills_latencies(dense_trace):
+    records = dense_trace.records()[:2000]
+    replayed, _ = replay_trace(records, MSSConfig(seed=3))
+    good = [r for r in replayed if not r.is_error]
+    assert all(r.startup_latency > 0 for r in good)
+    assert all(r.transfer_time > 0 for r in good)
+
+
+def test_replay_passes_errors_through(dense_trace):
+    records = dense_trace.records()[:3000]
+    errors_in = [r for r in records if r.is_error]
+    replayed, _ = replay_trace(records, MSSConfig(seed=4))
+    errors_out = [r for r in replayed if r.is_error]
+    assert len(errors_in) == len(errors_out)
+
+
+def test_replay_latency_ordering(dense_trace):
+    """Disk must beat silo, silo must beat shelf (Figure 3 ordering)."""
+    records = dense_trace.records()
+    _, metrics = replay_trace(records, MSSConfig(seed=5))
+    disk = np.mean(metrics.device_samples(Device.MSS_DISK))
+    silo = np.mean(metrics.device_samples(Device.TAPE_SILO))
+    shelf = np.mean(metrics.device_samples(Device.TAPE_SHELF))
+    assert disk < silo < shelf
+    # Paper: the silo is 2-2.5x faster than manual mounting overall.
+    assert shelf / silo > 1.5
+
+
+def test_replay_is_deterministic(dense_trace):
+    records = dense_trace.records()[:1500]
+    a, _ = replay_trace(records, MSSConfig(seed=6))
+    b, _ = replay_trace(records, MSSConfig(seed=6))
+    assert [r.startup_latency for r in a] == [r.startup_latency for r in b]
+
+
+# ---------------------------------------------------------------------------
+# Metrics collector
+
+
+def test_metrics_collector_cells():
+    collector = MetricsCollector()
+    request = MSSRequest(0, "/f", MB, False, Device.MSS_DISK, 0.0)
+    request.mscp_grant_time = 1.0
+    request.device_grant_time = 2.0
+    request.seek_done_time = 3.0
+    request.first_byte_time = 3.0
+    request.completion_time = 5.0
+    collector.record(request)
+    cell = collector.cell(Device.MSS_DISK, False)
+    assert cell.startup.count == 1
+    assert cell.startup.mean == pytest.approx(3.0)
+    assert cell.transfer.mean == pytest.approx(2.0)
+    assert collector.mean_startup(Device.MSS_DISK, False) == pytest.approx(3.0)
+    summary = collector.summary()
+    assert "disk-read" in summary
+
+
+def test_metrics_empty_cell():
+    collector = MetricsCollector()
+    assert collector.cell(Device.TAPE_SILO, True).startup.count == 0
+    with pytest.raises(ValueError):
+        collector.device_cdf(Device.TAPE_SILO)

@@ -1,0 +1,116 @@
+"""Directory-tree generator tests (Table 4 / Figure 12 shape)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.namespace.dirtree import (
+    FULL_SCALE_DIRECTORIES,
+    FULL_SCALE_FILES,
+    MAX_DIRECTORY_DEPTH,
+    NamespaceProfile,
+    _plan_file_counts,
+    generate_namespace,
+)
+from repro.util.rng import make_rng
+from repro.util.stats import top_fraction_share
+from repro.util.units import MB
+
+
+@pytest.fixture(scope="module")
+def medium_ns():
+    return generate_namespace(NamespaceProfile.scaled(0.01), seed=5)
+
+
+def test_profile_constants_match_table4():
+    assert FULL_SCALE_FILES == 900_000
+    assert FULL_SCALE_DIRECTORIES == 143_245
+    assert MAX_DIRECTORY_DEPTH == 12
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        NamespaceProfile(n_files=0)
+    with pytest.raises(ValueError):
+        NamespaceProfile(frac_zero_file_dirs=0.6, frac_one_file_dirs=0.5)
+    with pytest.raises(ValueError):
+        NamespaceProfile.scaled(0.0)
+
+
+def test_file_count_exact(medium_ns):
+    profile = NamespaceProfile.scaled(0.01)
+    assert medium_ns.file_count == profile.n_files
+
+
+def test_directory_ratio(medium_ns):
+    ratio = medium_ns.directory_count / medium_ns.file_count
+    assert ratio == pytest.approx(FULL_SCALE_DIRECTORIES / FULL_SCALE_FILES, rel=0.05)
+
+
+def test_zero_or_one_file_fraction(medium_ns):
+    counts = np.asarray(medium_ns.directory_file_counts())
+    assert (counts <= 1).mean() == pytest.approx(0.75, abs=0.04)
+
+
+def test_at_most_ten_files_fraction(medium_ns):
+    counts = np.asarray(medium_ns.directory_file_counts())
+    assert (counts <= 10).mean() == pytest.approx(0.90, abs=0.05)
+
+
+def test_largest_directory_share(medium_ns):
+    # Table 4: 24,926 / 900,000 ~= 2.77 % of files in the biggest directory.
+    share = medium_ns.largest_directory_file_count / medium_ns.file_count
+    assert share == pytest.approx(0.0277, rel=0.15)
+
+
+def test_top_directories_hold_most_files(medium_ns):
+    counts = medium_ns.directory_file_counts()
+    assert top_fraction_share(counts, 0.05) > 0.45
+
+
+def test_depth_bounds(medium_ns):
+    assert 0 < medium_ns.max_depth <= MAX_DIRECTORY_DEPTH
+    # The planted spine guarantees the full depth at this size.
+    assert medium_ns.max_depth == MAX_DIRECTORY_DEPTH
+
+
+def test_mean_file_size(medium_ns):
+    assert medium_ns.average_file_size == pytest.approx(25 * MB, rel=0.15)
+
+
+def test_structure_validates(medium_ns):
+    medium_ns.validate()
+
+
+def test_paths_unique(medium_ns):
+    paths = [f.path for f in medium_ns.files]
+    assert len(paths) == len(set(paths))
+
+
+def test_deterministic_generation():
+    a = generate_namespace(NamespaceProfile.scaled(0.002), seed=3)
+    b = generate_namespace(NamespaceProfile.scaled(0.002), seed=3)
+    assert [f.path for f in a.files] == [f.path for f in b.files]
+    assert [f.size for f in a.files] == [f.size for f in b.files]
+
+
+def test_different_seeds_differ():
+    a = generate_namespace(NamespaceProfile.scaled(0.002), seed=3)
+    b = generate_namespace(NamespaceProfile.scaled(0.002), seed=4)
+    assert [f.size for f in a.files] != [f.size for f in b.files]
+
+
+@given(st.integers(min_value=20, max_value=3000))
+@settings(max_examples=20, deadline=None)
+def test_plan_conserves_files(n_files):
+    profile = NamespaceProfile(n_files=n_files)
+    counts = _plan_file_counts(profile, make_rng(1))
+    assert sum(counts) == n_files
+    assert all(c >= 0 for c in counts)
+
+
+def test_tiny_namespace_still_works():
+    ns = generate_namespace(NamespaceProfile(n_files=25), seed=1)
+    assert ns.file_count == 25
+    ns.validate()

@@ -1,0 +1,90 @@
+"""Namespace data-model tests."""
+
+import pytest
+
+from repro.namespace.model import Namespace
+
+
+@pytest.fixture
+def ns():
+    namespace = Namespace()
+    root = namespace.add_directory("/", depth=0, parent_id=None)
+    home = namespace.add_directory("/u1", depth=1, parent_id=root.dir_id)
+    proj = namespace.add_directory("/u1/ccm", depth=2, parent_id=home.dir_id)
+    namespace.add_file("/u1/ccm/h00000.nc", 10_000, proj.dir_id)
+    namespace.add_file("/u1/ccm/h00001.nc", 20_000, proj.dir_id)
+    namespace.add_file("/u1/readme", 100, home.dir_id)
+    return namespace
+
+
+def test_counts(ns):
+    assert ns.file_count == 3
+    assert ns.directory_count == 3
+    assert ns.total_bytes == 30_100
+    assert ns.average_file_size == pytest.approx(30_100 / 3)
+    assert ns.max_depth == 2
+
+
+def test_directory_membership(ns):
+    proj = ns.directories[2]
+    assert proj.file_count == 2
+    assert ns.largest_directory_file_count == 2
+    assert ns.directory_file_counts() == [0, 1, 2]
+
+
+def test_directory_data_bytes(ns):
+    assert ns.directory_data_bytes() == [0, 100, 30_000]
+
+
+def test_lookup_by_path(ns):
+    entry = ns.file_by_path("/u1/ccm/h00001.nc")
+    assert entry.size == 20_000
+    with pytest.raises(KeyError):
+        ns.file_by_path("/nope")
+
+
+def test_sequence_and_sibling(ns):
+    first = ns.file_by_path("/u1/ccm/h00000.nc")
+    assert first.sequence == 0
+    nxt = ns.sibling_after(first)
+    assert nxt is not None and nxt.path == "/u1/ccm/h00001.nc"
+    assert ns.sibling_after(nxt) is None
+
+
+def test_subdir_links(ns):
+    root = ns.directories[0]
+    assert root.subdir_ids == [1]
+    assert ns.directories[1].subdir_ids == [2]
+
+
+def test_add_directory_requires_parent():
+    namespace = Namespace()
+    namespace.add_directory("/", 0, None)
+    with pytest.raises(ValueError):
+        namespace.add_directory("/x", 1, parent_id=99)
+
+
+def test_add_file_requires_directory_and_unique_path(ns):
+    with pytest.raises(ValueError):
+        ns.add_file("/z", 1, dir_id=99)
+    with pytest.raises(ValueError):
+        ns.add_file("/u1/readme", 1, dir_id=1)
+    with pytest.raises(ValueError):
+        ns.add_file("/neg", -5, dir_id=1)
+
+
+def test_validate_passes(ns):
+    ns.validate()
+
+
+def test_validate_detects_depth_breakage(ns):
+    ns.directories[2].depth = 7
+    with pytest.raises(ValueError):
+        ns.validate()
+
+
+def test_empty_namespace_properties():
+    namespace = Namespace()
+    assert namespace.average_file_size == 0.0
+    assert namespace.max_depth == 0
+    assert namespace.largest_directory_file_count == 0

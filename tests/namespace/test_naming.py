@@ -1,0 +1,44 @@
+"""Path-naming helper tests."""
+
+from repro.namespace.naming import (
+    directory_component,
+    file_name,
+    join_path,
+    user_name,
+)
+from repro.util.rng import make_rng
+
+
+def test_user_name_format():
+    assert user_name(42) == "u0042"
+    assert user_name(3999) == "u3999"
+
+
+def test_directory_component_depths():
+    rng = make_rng(1)
+    home = directory_component(rng, 1)
+    assert home.startswith("u")
+    project = directory_component(rng, 2)
+    assert any(ch.isdigit() for ch in project)
+    deep = directory_component(rng, 5)
+    assert deep
+
+
+def test_file_name_carries_sequence():
+    rng = make_rng(2)
+    name = file_name(rng, 123)
+    assert "00123" in name
+    assert "." in name
+
+
+def test_file_names_ordered_by_sequence():
+    rng = make_rng(3)
+    a = file_name(rng, 1)
+    b = file_name(rng, 2)
+    # Sequence numbers are zero-padded, so sibling order is stable.
+    assert "00001" in a and "00002" in b
+
+
+def test_join_path():
+    assert join_path(["u0001", "ccm01", "hist"]) == "/u0001/ccm01/hist"
+    assert join_path(["x"]) == "/x"

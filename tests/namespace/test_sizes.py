@@ -1,0 +1,96 @@
+"""File-size model tests (Figure 11 / Table 3 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.namespace.sizes import (
+    DeviceSizeModel,
+    FileSizeModel,
+    LognormalSpec,
+    MIN_FILE_BYTES,
+    split_oversized,
+)
+from repro.trace.record import Device
+from repro.util.rng import make_rng
+from repro.util.units import MB, MSS_FILE_SIZE_LIMIT
+
+
+def test_lognormal_spec_mean():
+    spec = LognormalSpec(median_bytes=10 * MB, sigma=0.5)
+    assert spec.mean_bytes == pytest.approx(10 * MB * np.exp(0.125))
+
+
+def test_lognormal_spec_sampling_median():
+    spec = LognormalSpec(median_bytes=5 * MB, sigma=0.8)
+    samples = spec.sample(make_rng(1), 20_000)
+    assert np.median(samples) == pytest.approx(5 * MB, rel=0.05)
+
+
+def test_file_size_model_respects_limits():
+    model = FileSizeModel()
+    sizes = model.sample(make_rng(2), 20_000)
+    assert sizes.min() >= MIN_FILE_BYTES
+    assert sizes.max() <= MSS_FILE_SIZE_LIMIT
+
+
+def test_file_size_model_mean_near_25mb():
+    model = FileSizeModel()
+    sizes = model.sample(make_rng(3), 50_000)
+    assert sizes.mean() == pytest.approx(25 * MB, rel=0.12)
+    assert model.expected_mean_bytes() == pytest.approx(25 * MB, rel=0.12)
+
+
+def test_file_size_model_small_file_shape():
+    # Figure 11: ~half the files under 3 MB holding ~2 % of the data.
+    model = FileSizeModel()
+    sizes = model.sample(make_rng(4), 50_000)
+    small = sizes < 3 * MB
+    assert small.mean() == pytest.approx(0.5, abs=0.06)
+    assert sizes[small].sum() / sizes.sum() < 0.05
+
+
+def test_file_size_model_empty_and_invalid():
+    model = FileSizeModel()
+    assert model.sample(make_rng(0), 0).size == 0
+    with pytest.raises(ValueError):
+        model.sample(make_rng(0), -1)
+
+
+@pytest.mark.parametrize(
+    "device,target_mb",
+    [
+        (Device.MSS_DISK, 3.75),
+        (Device.TAPE_SILO, 79.67),
+        (Device.TAPE_SHELF, 47.14),
+    ],
+)
+def test_device_size_means_match_table3(device, target_mb):
+    model = DeviceSizeModel.for_device(device)
+    sizes = model.sample(make_rng(5), 40_000)
+    assert sizes.mean() / MB == pytest.approx(target_mb, rel=0.12)
+
+
+def test_device_size_model_rejects_cray():
+    with pytest.raises(ValueError):
+        DeviceSizeModel.for_device(Device.CRAY)
+
+
+def test_split_oversized_exact_multiple():
+    assert split_oversized(400 * MB) == [200 * MB, 200 * MB]
+
+
+def test_split_oversized_remainder():
+    parts = split_oversized(450 * MB)
+    assert parts == [200 * MB, 200 * MB, 50 * MB]
+    assert sum(parts) == 450 * MB
+
+
+def test_split_oversized_small_file():
+    assert split_oversized(10) == [10]
+
+
+def test_split_oversized_rejects_bad_input():
+    with pytest.raises(ValueError):
+        split_oversized(0)
+    with pytest.raises(ValueError):
+        split_oversized(100, limit=0)

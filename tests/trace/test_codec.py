@@ -1,0 +1,175 @@
+"""Codec tests: delta encoding, escaping, hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.codec import (
+    HEADER_LINE,
+    RecordDecoder,
+    RecordEncoder,
+    escape_path,
+    iter_decode,
+    quantize_record,
+    unescape_path,
+)
+from repro.trace.errors import ErrorKind, TraceFormatError
+from repro.trace.record import Device, make_read, make_write
+
+
+def _roundtrip(records):
+    encoder = RecordEncoder()
+    lines = [encoder.encode(r) for r in records]
+    decoder = RecordDecoder()
+    return [decoder.decode(line) for line in lines]
+
+
+def test_simple_roundtrip():
+    records = [
+        make_write(Device.MSS_DISK, 10.0, 1000, "/u/a.dat", 5,
+                   startup_latency=3.0, transfer_time=0.5),
+        make_read(Device.TAPE_SILO, 42.0, 80_000_000, "/u/b.nc", 5,
+                  startup_latency=100.0, transfer_time=40.0),
+    ]
+    out = _roundtrip(records)
+    assert [r.mss_path for r in out] == ["/u/a.dat", "/u/b.nc"]
+    assert out[0].start_time == 10.0
+    assert out[1].start_time == 42.0
+    assert out[1].storage_device is Device.TAPE_SILO
+
+
+def test_same_user_elision():
+    records = [
+        make_read(Device.MSS_DISK, 0.0, 1, "/a", 7),
+        make_read(Device.MSS_DISK, 5.0, 1, "/b", 7),
+        make_read(Device.MSS_DISK, 9.0, 1, "/c", 8),
+    ]
+    encoder = RecordEncoder()
+    lines = [encoder.encode(r) for r in records]
+    assert lines[0].endswith(" 7")
+    assert lines[1].endswith(" =")
+    assert lines[2].endswith(" 8")
+    out = [RecordDecoder().decode(line) for line in [lines[0]]]
+    assert out[0].user_id == 7
+    decoded = _roundtrip(records)
+    assert [r.user_id for r in decoded] == [7, 7, 8]
+
+
+def test_millisecond_transfer_precision():
+    r = make_read(Device.MSS_DISK, 0.0, 1, "/a", 1, transfer_time=1.2345)
+    out = _roundtrip([r])[0]
+    assert out.transfer_time == pytest.approx(1.234, abs=1e-9)
+
+
+def test_encoder_rejects_time_regression():
+    encoder = RecordEncoder()
+    encoder.encode(make_read(Device.MSS_DISK, 100.0, 1, "/a", 1))
+    with pytest.raises(TraceFormatError):
+        encoder.encode(make_read(Device.MSS_DISK, 50.0, 1, "/b", 1))
+
+
+def test_decoder_rejects_bad_field_count():
+    with pytest.raises(TraceFormatError):
+        RecordDecoder().decode("D C 0 0 0")
+
+
+def test_decoder_rejects_orphan_same_user():
+    # '=' user with no predecessor.
+    line = "D C 32 0 0 0 1 /a - ="
+    with pytest.raises(TraceFormatError):
+        RecordDecoder().decode(line)
+
+
+def test_decoder_reports_line_numbers():
+    decoder = RecordDecoder()
+    decoder.decode("D C 0 0 0 0 1 /a - 1")
+    with pytest.raises(TraceFormatError) as err:
+        decoder.decode("garbage")
+    assert "line 2" in str(err.value)
+
+
+def test_iter_decode_requires_header():
+    with pytest.raises(TraceFormatError):
+        list(iter_decode(iter(["D C 0 0 0 0 1 /a - 1"])))
+
+
+def test_iter_decode_accepts_header_and_comments():
+    lines = [
+        HEADER_LINE,
+        "# site=test",
+        "",
+        "D C 0 0 0 0 1 /a - 1",
+    ]
+    out = list(iter_decode(iter(lines)))
+    assert len(out) == 1
+    assert out[0].mss_path == "/a"
+
+
+def test_path_escaping():
+    assert escape_path("/plain/path") == "/plain/path"
+    assert escape_path("/with space") == "/with%20space"
+    assert unescape_path(escape_path("/a b%c\td")) == "/a b%c\td"
+
+
+def test_quantize_record():
+    r = make_read(
+        Device.MSS_DISK, 10.6, 1, "/a", 1,
+        startup_latency=3.4, transfer_time=0.01234,
+    )
+    q = quantize_record(r)
+    assert q.start_time == 11.0
+    assert q.startup_latency == 3.0
+    assert q.transfer_time == pytest.approx(0.012)
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip
+
+_paths = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="/._- %"),
+    min_size=1,
+    max_size=40,
+).map(lambda s: "/" + s.strip("/"))
+
+
+@st.composite
+def record_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    start = 0.0
+    records = []
+    for _ in range(n):
+        start += draw(st.integers(min_value=0, max_value=10_000))
+        device = draw(st.sampled_from(list(Device.storage_devices())))
+        is_write = draw(st.booleans())
+        maker = make_write if is_write else make_read
+        records.append(
+            maker(
+                device=device,
+                start_time=float(start),
+                file_size=draw(st.integers(min_value=0, max_value=200_000_000)),
+                mss_path=draw(_paths),
+                user_id=draw(st.integers(min_value=0, max_value=4000)),
+                startup_latency=float(draw(st.integers(0, 1000))),
+                transfer_time=draw(st.integers(0, 10_000)) / 1000.0,
+                error=draw(st.sampled_from(list(ErrorKind))),
+            )
+        )
+    return records
+
+
+@given(record_batches())
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_preserves_quantized_records(records):
+    decoded = _roundtrip(records)
+    assert len(decoded) == len(records)
+    for original, back in zip(records, decoded):
+        q = quantize_record(original)
+        assert back.start_time == q.start_time
+        assert back.startup_latency == q.startup_latency
+        assert back.transfer_time == pytest.approx(q.transfer_time, abs=1e-9)
+        assert back.file_size == original.file_size
+        assert back.mss_path == original.mss_path
+        assert back.user_id == original.user_id
+        assert back.is_write == original.is_write
+        assert back.error == original.error
+        assert back.storage_device == original.storage_device

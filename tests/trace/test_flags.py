@@ -1,0 +1,63 @@
+"""Flag-word encode/decode tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.errors import ErrorKind
+from repro.trace.flags import MAX_FLAG_VALUE, Flags
+
+
+def test_default_flags_are_clean_read():
+    f = Flags()
+    assert f.is_read and not f.is_write
+    assert not f.is_error
+    assert f.encode() == 0
+
+
+def test_write_bit():
+    assert Flags(is_write=True).encode() & 1 == 1
+    assert Flags.decode(1).is_write
+
+
+def test_error_kind_roundtrip():
+    for kind in ErrorKind:
+        f = Flags(error=kind)
+        assert Flags.decode(f.encode()).error is kind
+
+
+def test_error_detection():
+    assert not Flags(error=ErrorKind.NONE).is_error
+    assert Flags(error=ErrorKind.NO_SUCH_FILE).is_error
+
+
+@given(
+    st.booleans(),
+    st.sampled_from(list(ErrorKind)),
+    st.booleans(),
+    st.booleans(),
+)
+def test_roundtrip_all_fields(is_write, error, compressed, same_user):
+    f = Flags(is_write=is_write, error=error, compressed=compressed, same_user=same_user)
+    decoded = Flags.decode(f.encode())
+    assert decoded == f
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        Flags.decode(-1)
+    with pytest.raises(ValueError):
+        Flags.decode(MAX_FLAG_VALUE + 1)
+
+
+def test_decode_rejects_unknown_error_kind():
+    # Error field is bits 1-3; value 0b101 = 5 is not a valid ErrorKind.
+    with pytest.raises(ValueError):
+        Flags.decode(0b1010)
+
+
+def test_replace_produces_new_flags():
+    f = Flags(is_write=False)
+    g = f.replace(same_user=True)
+    assert g.same_user and not f.same_user
+    assert g.is_read

@@ -1,0 +1,82 @@
+"""File-level reader/writer tests."""
+
+import io
+
+import pytest
+
+from repro.trace.codec import HEADER_LINE
+from repro.trace.reader import TraceReader, load_trace_string, read_trace
+from repro.trace.record import Device, make_read, make_write
+from repro.trace.writer import TraceWriter, dump_trace_string, write_trace
+
+
+@pytest.fixture
+def sample_records():
+    return [
+        make_write(Device.MSS_DISK, 0.0, 500, "/u/a", 1),
+        make_read(Device.MSS_DISK, 30.0, 500, "/u/a", 1),
+        make_read(Device.TAPE_SHELF, 90.0, 50_000_000, "/u/old.tar", 2,
+                  startup_latency=290.0, transfer_time=25.0),
+    ]
+
+
+def test_file_roundtrip(tmp_path, sample_records):
+    path = tmp_path / "trace.rt"
+    count = write_trace(path, sample_records, comments={"site": "test"})
+    assert count == 3
+    back = read_trace(path)
+    assert [r.mss_path for r in back] == ["/u/a", "/u/a", "/u/old.tar"]
+    assert back[2].startup_latency == 290.0
+
+
+def test_header_and_comments(tmp_path, sample_records):
+    path = tmp_path / "trace.rt"
+    write_trace(path, sample_records, comments={"scale": 0.01})
+    lines = path.read_text().splitlines()
+    assert lines[0] == HEADER_LINE
+    assert lines[1] == "# scale=0.01"
+
+
+def test_string_roundtrip(sample_records):
+    text = dump_trace_string(sample_records)
+    back = load_trace_string(text)
+    assert len(back) == 3
+    assert back[0].is_write
+
+
+def test_writer_counts(sample_records):
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    assert writer.records_written == 0
+    writer.write(sample_records[0])
+    assert writer.records_written == 1
+    assert writer.write_all(sample_records[1:]) == 2
+    assert writer.records_written == 3
+
+
+def test_writer_context_manager(tmp_path, sample_records):
+    path = tmp_path / "ctx.rt"
+    with TraceWriter(path) as writer:
+        writer.write_all(sample_records)
+    assert len(read_trace(path)) == 3
+
+
+def test_reader_is_lazy(tmp_path, sample_records):
+    path = tmp_path / "lazy.rt"
+    write_trace(path, sample_records)
+    with TraceReader(path) as reader:
+        iterator = iter(reader)
+        first = next(iterator)
+        assert first.mss_path == "/u/a"
+
+
+def test_reader_on_stream(sample_records):
+    text = dump_trace_string(sample_records)
+    reader = TraceReader(io.StringIO(text))
+    assert len(list(reader)) == 3
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = tmp_path / "empty.rt"
+    write_trace(path, [])
+    assert read_trace(path) == []

@@ -1,0 +1,164 @@
+"""TraceRecord validation and helper tests."""
+
+import pytest
+
+from repro.trace.errors import ErrorKind, TraceValidationError
+from repro.trace.flags import Flags
+from repro.trace.record import (
+    Device,
+    TraceRecord,
+    device_token,
+    make_read,
+    make_write,
+    parse_device_token,
+)
+
+
+def test_make_read_direction():
+    r = make_read(Device.TAPE_SILO, 100.0, 80_000_000, "/u/f.nc", 42)
+    assert r.is_read and not r.is_write
+    assert r.source is Device.TAPE_SILO
+    assert r.destination is Device.CRAY
+    assert r.storage_device is Device.TAPE_SILO
+
+
+def test_make_write_direction():
+    r = make_write(Device.MSS_DISK, 5.0, 1_000, "/u/g.dat", 7)
+    assert r.is_write
+    assert r.destination is Device.MSS_DISK
+    assert r.storage_device is Device.MSS_DISK
+
+
+def test_reads_must_come_from_storage():
+    with pytest.raises(TraceValidationError):
+        make_read(Device.CRAY, 0.0, 1, "/f", 1)  # type: ignore[arg-type]
+
+
+def test_rejects_same_endpoints():
+    with pytest.raises(TraceValidationError):
+        TraceRecord(
+            source=Device.CRAY,
+            destination=Device.CRAY,
+            flags=Flags(is_write=True),
+            start_time=0.0,
+            startup_latency=0.0,
+            transfer_time=0.0,
+            file_size=1,
+            mss_path="/f",
+            local_path="/f",
+            user_id=1,
+        )
+
+
+def test_rejects_storage_to_storage():
+    with pytest.raises(TraceValidationError):
+        TraceRecord(
+            source=Device.MSS_DISK,
+            destination=Device.TAPE_SILO,
+            flags=Flags(is_write=True),
+            start_time=0.0,
+            startup_latency=0.0,
+            transfer_time=0.0,
+            file_size=1,
+            mss_path="/f",
+            local_path="/f",
+            user_id=1,
+        )
+
+
+def test_rejects_flag_direction_mismatch():
+    with pytest.raises(TraceValidationError):
+        TraceRecord(
+            source=Device.MSS_DISK,
+            destination=Device.CRAY,
+            flags=Flags(is_write=True),  # says write, but data flows to Cray
+            start_time=0.0,
+            startup_latency=0.0,
+            transfer_time=0.0,
+            file_size=1,
+            mss_path="/f",
+            local_path="/f",
+            user_id=1,
+        )
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("start_time", -1.0),
+        ("startup_latency", -0.1),
+        ("transfer_time", -0.1),
+        ("file_size", -1),
+        ("user_id", -2),
+    ],
+)
+def test_rejects_negative_fields(field, value):
+    kwargs = dict(
+        device=Device.MSS_DISK,
+        start_time=0.0,
+        file_size=1,
+        mss_path="/f",
+        user_id=1,
+        startup_latency=0.0,
+        transfer_time=0.0,
+    )
+    mapping = {
+        "start_time": "start_time",
+        "startup_latency": "startup_latency",
+        "transfer_time": "transfer_time",
+        "file_size": "file_size",
+        "user_id": "user_id",
+    }
+    kwargs[mapping[field]] = value
+    with pytest.raises(TraceValidationError):
+        make_read(**kwargs)
+
+
+def test_rejects_empty_path():
+    with pytest.raises(TraceValidationError):
+        make_read(Device.MSS_DISK, 0.0, 1, "", 1)
+
+
+def test_derived_times():
+    r = make_read(
+        Device.TAPE_SHELF, 100.0, 10, "/f", 1,
+        startup_latency=290.0, transfer_time=40.0,
+    )
+    assert r.completion_time == pytest.approx(430.0)
+    assert r.response_time == pytest.approx(330.0)
+
+
+def test_with_times_replaces_only_given():
+    r = make_read(Device.MSS_DISK, 0.0, 1, "/f", 1, startup_latency=5.0, transfer_time=2.0)
+    r2 = r.with_times(startup_latency=9.0)
+    assert r2.startup_latency == 9.0
+    assert r2.transfer_time == 2.0
+    assert r.startup_latency == 5.0  # original untouched
+    assert r.with_times() is r
+
+
+def test_error_record_carries_kind():
+    r = make_read(Device.MSS_DISK, 0.0, 0, "/missing", 1, error=ErrorKind.NO_SUCH_FILE)
+    assert r.is_error
+    assert r.error is ErrorKind.NO_SUCH_FILE
+
+
+def test_default_local_path():
+    r = make_read(Device.MSS_DISK, 0.0, 1, "/home/u1/data.nc", 1)
+    assert r.local_path == "/tmp/wrk/data.nc"
+
+
+def test_device_tokens_roundtrip():
+    for device in Device:
+        assert parse_device_token(device_token(device)) is device
+    with pytest.raises(TraceValidationError):
+        parse_device_token("?")
+
+
+def test_storage_devices_order():
+    assert Device.storage_devices() == (
+        Device.MSS_DISK,
+        Device.TAPE_SILO,
+        Device.TAPE_SHELF,
+    )
+    assert not Device.CRAY.is_storage

@@ -1,0 +1,93 @@
+"""TraceStatistics accumulator tests (the Table 3 engine)."""
+
+import pytest
+
+from repro.trace.errors import ErrorKind
+from repro.trace.record import Device, make_read, make_write
+from repro.trace.stats import CellStats, TraceStatistics
+from repro.util.units import GB, MB
+
+
+@pytest.fixture
+def stats():
+    s = TraceStatistics()
+    s.add(make_read(Device.MSS_DISK, 0.0, 4 * MB, "/a", 1, startup_latency=30.0))
+    s.add(make_read(Device.TAPE_SILO, 18.0, 80 * MB, "/b", 1, startup_latency=110.0))
+    s.add(make_write(Device.MSS_DISK, 36.0, 2 * MB, "/c", 2, startup_latency=20.0))
+    s.add(
+        make_read(
+            Device.MSS_DISK, 54.0, 0, "/gone", 3, error=ErrorKind.NO_SUCH_FILE
+        )
+    )
+    return s
+
+
+def test_error_accounting(stats):
+    assert stats.raw_references == 4
+    assert stats.total_errors == 1
+    assert stats.analyzed_references == 3
+    assert stats.error_fraction == pytest.approx(0.25)
+    assert stats.error_counts[ErrorKind.NO_SUCH_FILE] == 1
+
+
+def test_cell_breakdown(stats):
+    disk_reads = stats.cell(Device.MSS_DISK, False)
+    assert disk_reads.references == 1
+    assert disk_reads.bytes_transferred == 4 * MB
+    assert disk_reads.avg_latency_seconds == pytest.approx(30.0)
+    silo_reads = stats.cell(Device.TAPE_SILO, False)
+    assert silo_reads.avg_file_size_mb == pytest.approx(80.0)
+
+
+def test_unseen_cell_is_empty(stats):
+    cell = stats.cell(Device.TAPE_SHELF, True)
+    assert cell.references == 0
+    assert cell.avg_latency_seconds == 0.0
+
+
+def test_device_and_direction_totals(stats):
+    disk = stats.device_total(Device.MSS_DISK)
+    assert disk.references == 2
+    reads = stats.direction_total(False)
+    assert reads.references == 2
+    assert reads.bytes_transferred == 84 * MB
+
+
+def test_grand_total(stats):
+    total = stats.grand_total()
+    assert total.references == 3
+    assert total.gb_transferred == pytest.approx(86 * MB / GB)
+    # Mean size is per-reference, not per-byte.
+    assert total.avg_file_size_mb == pytest.approx((4 + 80 + 2) / 3)
+
+
+def test_read_write_ratio(stats):
+    assert stats.read_write_ratio() == pytest.approx(2.0)
+
+
+def test_mean_interarrival(stats):
+    # Span 54 s over 3 analyzed references.
+    assert stats.mean_interarrival_seconds() == pytest.approx(18.0)
+
+
+def test_mean_interarrival_needs_data():
+    with pytest.raises(ValueError):
+        TraceStatistics().mean_interarrival_seconds()
+
+
+def test_cell_merge():
+    a = CellStats()
+    b = CellStats()
+    a.add(make_read(Device.MSS_DISK, 0.0, 10 * MB, "/a", 1, startup_latency=10.0))
+    b.add(make_read(Device.MSS_DISK, 0.0, 20 * MB, "/b", 1, startup_latency=20.0))
+    a.merge(b)
+    assert a.references == 2
+    assert a.avg_file_size_mb == pytest.approx(15.0)
+    assert a.avg_latency_seconds == pytest.approx(15.0)
+
+
+def test_add_all_chains(stats):
+    more = TraceStatistics().add_all(
+        [make_read(Device.MSS_DISK, 0.0, MB, "/x", 1)]
+    )
+    assert more.analyzed_references == 1

@@ -1,0 +1,208 @@
+"""Statistics-primitive tests, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    CDF,
+    Histogram,
+    StreamingMoments,
+    autocorrelation,
+    describe,
+    dominant_periods,
+    gini,
+    lognormal_params_from_mean_median,
+    relative_error,
+    top_fraction_share,
+    zipf_weights,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# ---------------------------------------------------------------------------
+# CDF
+
+
+def test_cdf_simple():
+    cdf = CDF.from_samples([1, 2, 2, 4])
+    assert cdf.fraction_at_or_below(0.5) == 0.0
+    assert cdf.fraction_at_or_below(1) == pytest.approx(0.25)
+    assert cdf.fraction_at_or_below(2) == pytest.approx(0.75)
+    assert cdf.fraction_at_or_below(100) == 1.0
+
+
+def test_cdf_weighted():
+    # One small sample with tiny weight, one large with the rest.
+    cdf = CDF.from_samples([1, 10], weights=[1, 99])
+    assert cdf.fraction_at_or_below(1) == pytest.approx(0.01)
+    assert cdf.fraction_at_or_below(10) == pytest.approx(1.0)
+
+
+def test_cdf_percentile_and_median():
+    cdf = CDF.from_samples(range(1, 101))
+    assert cdf.median() == 50
+    assert cdf.percentile(0.9) == 90
+    assert cdf.percentile(1.0) == 100
+
+
+def test_cdf_rejects_empty_and_bad_weights():
+    with pytest.raises(ValueError):
+        CDF.from_samples([])
+    with pytest.raises(ValueError):
+        CDF.from_samples([1, 2], weights=[1])
+    with pytest.raises(ValueError):
+        CDF.from_samples([1, 2], weights=[1, -1])
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_cdf_is_monotone_and_ends_at_one(samples):
+    cdf = CDF.from_samples(samples)
+    assert np.all(np.diff(cdf.fractions) >= -1e-12)
+    assert cdf.fractions[-1] == pytest.approx(1.0)
+    assert cdf.fraction_at_or_below(max(samples)) == pytest.approx(1.0)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200), st.floats(0.01, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_cdf_percentile_is_attained(samples, p):
+    cdf = CDF.from_samples(samples)
+    value = cdf.percentile(p)
+    assert cdf.fraction_at_or_below(value) >= p - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# StreamingMoments
+
+
+def test_moments_against_numpy():
+    data = [3.0, 1.5, -2.0, 8.0, 0.0]
+    m = StreamingMoments()
+    m.extend(data)
+    assert m.count == 5
+    assert m.mean == pytest.approx(np.mean(data))
+    assert m.variance == pytest.approx(np.var(data))
+    assert m.minimum == -2.0
+    assert m.maximum == 8.0
+    assert m.total == pytest.approx(sum(data))
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=100),
+    st.lists(finite_floats, min_size=1, max_size=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_moments_merge_equals_concat(a, b):
+    left = StreamingMoments()
+    left.extend(a)
+    right = StreamingMoments()
+    right.extend(b)
+    left.merge(right)
+    combined = StreamingMoments()
+    combined.extend(a + b)
+    assert left.count == combined.count
+    assert left.mean == pytest.approx(combined.mean, rel=1e-6, abs=1e-6)
+    assert left.variance == pytest.approx(combined.variance, rel=1e-5, abs=1e-5)
+
+
+def test_moments_merge_empty_sides():
+    empty = StreamingMoments()
+    full = StreamingMoments()
+    full.extend([1.0, 2.0])
+    empty.merge(full)
+    assert empty.count == 2
+    assert empty.mean == pytest.approx(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+
+
+def test_histogram_binning_and_clamping():
+    h = Histogram(edges=np.array([0.0, 1.0, 2.0, 4.0]))
+    h.add(0.5)
+    h.add(1.5, weight=10)
+    h.add(100.0)   # clamps into the last bin
+    h.add(-5.0)    # clamps into the first bin
+    assert h.counts.tolist() == [2, 1, 1]
+    assert h.weights[1] == 10
+    assert h.density().sum() == pytest.approx(1.0)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram(edges=np.array([1.0]))
+    with pytest.raises(ValueError):
+        Histogram(edges=np.array([1.0, 1.0]))
+
+
+# ---------------------------------------------------------------------------
+# Distribution helpers
+
+
+def test_lognormal_params():
+    mu, sigma = lognormal_params_from_mean_median(mean=25.0, median=10.0)
+    assert np.exp(mu) == pytest.approx(10.0)
+    assert np.exp(mu + sigma ** 2 / 2) == pytest.approx(25.0)
+
+
+def test_lognormal_params_rejects_bad_input():
+    with pytest.raises(ValueError):
+        lognormal_params_from_mean_median(mean=5.0, median=10.0)
+
+
+def test_zipf_weights_normalized_and_decreasing():
+    w = zipf_weights(50, 0.8)
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(w) < 0)
+
+
+def test_gini_extremes():
+    assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+    skewed = gini([0, 0, 0, 100])
+    assert skewed > 0.7
+
+
+def test_top_fraction_share():
+    values = [1] * 95 + [100] * 5
+    assert top_fraction_share(values, 0.05) == pytest.approx(500 / 595)
+    with pytest.raises(ValueError):
+        top_fraction_share(values, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Periodicity helpers
+
+
+def test_autocorrelation_of_periodic_signal():
+    t = np.arange(24 * 14)
+    series = np.sin(2 * np.pi * t / 24.0)
+    acf = autocorrelation(series, max_lag=48)
+    assert acf[0] == pytest.approx(1.0)
+    assert acf[24] > 0.9
+    assert acf[12] < -0.9
+
+
+def test_dominant_periods_finds_daily_cycle():
+    t = np.arange(24 * 28)
+    series = 5 + np.sin(2 * np.pi * t / 24.0)
+    periods = dominant_periods(series, sample_spacing=1.0, top_k=1)
+    assert periods[0][0] == pytest.approx(24.0, rel=0.05)
+
+
+def test_relative_error():
+    assert relative_error(11, 10) == pytest.approx(0.1)
+    assert relative_error(5, 0) == 5
+
+
+def test_describe():
+    d = describe([1.0, 2.0, 3.0])
+    assert d["count"] == 3
+    assert d["median"] == 2.0
+    empty = describe([])
+    assert empty["count"] == 0

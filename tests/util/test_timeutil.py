@@ -1,0 +1,108 @@
+"""Trace-calendar tests: the 1990-92 period, day-of-week, holidays."""
+
+import datetime
+
+import pytest
+
+from repro.util.timeutil import (
+    MONDAY,
+    SATURDAY,
+    SUNDAY,
+    TRACE_DAYS,
+    TRACE_EPOCH,
+    TRACE_HOLIDAYS,
+    TRACE_SECONDS,
+    TRACE_WEEKS,
+    TraceCalendar,
+)
+from repro.util.units import DAY, HOUR, WEEK
+
+
+@pytest.fixture(scope="module")
+def calendar():
+    return TraceCalendar()
+
+
+def test_epoch_is_monday_oct_1990():
+    assert TRACE_EPOCH == datetime.datetime(1990, 10, 1)
+    assert TRACE_EPOCH.weekday() == 0  # python Monday
+
+
+def test_span_matches_paper():
+    # "a period of 731 days" covering 104 full weeks.
+    assert TRACE_DAYS == 731
+    assert TRACE_SECONDS == 731 * DAY
+    assert TRACE_WEEKS == 104
+
+
+def test_day_of_week_convention(calendar):
+    # Figure 5: 0 = Sunday.  The epoch is a Monday.
+    assert calendar.day_of_week(0.0) == MONDAY
+    assert calendar.day_of_week(5 * DAY) == SATURDAY
+    assert calendar.day_of_week(6 * DAY) == SUNDAY
+
+
+def test_hour_of_day(calendar):
+    assert calendar.hour_of_day(0.0) == 0
+    assert calendar.hour_of_day(13 * HOUR + 59 * 60) == 13
+    assert calendar.hour_of_day(DAY + HOUR) == 1
+
+
+def test_week_of_trace(calendar):
+    assert calendar.week_of_trace(0.0) == 0
+    assert calendar.week_of_trace(WEEK - 1) == 0
+    assert calendar.week_of_trace(WEEK) == 1
+
+
+def test_weekend_detection(calendar):
+    assert not calendar.is_weekend(0.0)           # Monday
+    assert calendar.is_weekend(5 * DAY)           # Saturday
+    assert calendar.is_weekend(6 * DAY)           # Sunday
+
+
+def test_christmas_1990_is_holiday(calendar):
+    christmas = datetime.datetime(1990, 12, 25, 12, 0)
+    assert calendar.is_holiday(calendar.sim_time_of(christmas))
+
+
+def test_thanksgiving_1991_is_holiday(calendar):
+    # 4th Thursday of November 1991 = Nov 28.
+    thanksgiving = datetime.datetime(1991, 11, 28, 9, 0)
+    assert calendar.is_holiday(calendar.sim_time_of(thanksgiving))
+
+
+def test_ordinary_tuesday_is_not_holiday(calendar):
+    ordinary = datetime.datetime(1991, 3, 5, 10, 0)
+    assert not calendar.is_holiday(calendar.sim_time_of(ordinary))
+
+
+def test_holidays_all_inside_trace():
+    start = TRACE_EPOCH.date()
+    end = (TRACE_EPOCH + datetime.timedelta(days=TRACE_DAYS)).date()
+    for day in TRACE_HOLIDAYS:
+        assert start <= day <= end
+
+
+def test_holiday_weeks_min_days(calendar):
+    all_weeks = calendar.holiday_weeks()
+    big_weeks = calendar.holiday_weeks(min_days=3)
+    assert set(big_weeks) <= set(all_weeks)
+    # Christmas stretches guarantee at least two >= 3-day weeks (one per year).
+    assert len(big_weeks) >= 2
+
+
+def test_calendar_point_roundtrip(calendar):
+    t = 100 * DAY + 15 * HOUR
+    point = calendar.at(t)
+    assert point.sim_time == t
+    assert point.hour_of_day == 15
+    assert point.day_of_trace == 100
+    assert point.week_of_trace == 100 // 7
+    assert point.datetime == calendar.datetime_at(t)
+
+
+def test_span_of_week(calendar):
+    start, end = calendar.span_of_week(10)
+    assert end - start == WEEK
+    assert calendar.week_of_trace(start) == 10
+    assert calendar.week_of_trace(end - 1) == 10

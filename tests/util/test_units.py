@@ -1,0 +1,69 @@
+"""Unit-constant and formatting tests."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_decimal_prefixes_chain():
+    assert units.MB == 1000 * units.KB
+    assert units.GB == 1000 * units.MB
+    assert units.TB == 1000 * units.GB
+
+
+def test_binary_prefixes_chain():
+    assert units.MIB == 1024 * units.KIB
+    assert units.GIB == 1024 * units.MIB
+
+
+def test_time_constants():
+    assert units.DAY == 24 * units.HOUR
+    assert units.WEEK == 7 * units.DAY
+    assert units.HOUR == 3600
+
+
+def test_paper_constants():
+    assert units.MSS_FILE_SIZE_LIMIT == 200 * units.MB
+    assert units.DISK_PLACEMENT_THRESHOLD == 30 * units.MB
+    assert units.CRAY_WORD_BYTES == 8
+
+
+def test_mb_gb_roundtrip():
+    assert units.bytes_to_mb(units.mb(25)) == pytest.approx(25.0)
+    assert units.bytes_to_gb(units.gb(2.5)) == pytest.approx(2.5)
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [
+        (0, "0 B"),
+        (999, "999 B"),
+        (1500, "1.50 KB"),
+        (25 * units.MB, "25.00 MB"),
+        (23 * units.TB, "23.00 TB"),
+    ],
+)
+def test_format_bytes(n, expected):
+    assert units.format_bytes(n) == expected
+
+
+def test_format_bytes_negative():
+    assert units.format_bytes(-25 * units.MB) == "-25.00 MB"
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (0.25, "250 ms"),
+        (18.0, "18.0 s"),
+        (90.0, "1.5 min"),
+        (7200.0, "2.0 h"),
+        (2 * units.DAY, "2.0 d"),
+    ],
+)
+def test_format_duration(seconds, expected):
+    assert units.format_duration(seconds) == expected
+
+
+def test_format_duration_negative():
+    assert units.format_duration(-90.0) == "-1.5 min"

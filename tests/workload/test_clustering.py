@@ -1,0 +1,127 @@
+"""Burst expansion and session packing tests (Figure 7 / Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.units import HOUR
+from repro.workload.clustering import expand_bursts, pack_sessions
+from repro.workload.config import BurstConfig, SessionConfig
+
+
+def test_expand_bursts_keeps_originals():
+    rng = make_rng(1)
+    times = np.array([100.0, 5000.0])
+    is_write = np.array([False, True])
+    files = np.array([0, 1])
+    out_t, out_w, out_f = expand_bursts(
+        rng, times, is_write, files, BurstConfig(), horizon=1e9
+    )
+    assert out_t.size >= 2
+    assert out_t[0] == 100.0 and out_t[1] == 5000.0
+
+
+def test_expand_bursts_followers_within_window():
+    rng = make_rng(2)
+    n = 5000
+    times = np.zeros(n)
+    is_write = np.zeros(n, dtype=bool)
+    files = np.arange(n)
+    config = BurstConfig()
+    out_t, out_w, out_f = expand_bursts(rng, times, is_write, files, config, 1e12)
+    followers = out_t[n:]
+    assert followers.size > 0
+    assert followers.max() <= config.follower_gap_cap
+    assert followers.min() >= 0
+
+
+def test_expand_bursts_mean_matches_config():
+    rng = make_rng(3)
+    n = 20_000
+    times = np.zeros(n)
+    files = np.arange(n)
+    config = BurstConfig()
+    reads_out, _, _ = expand_bursts(
+        rng, times, np.zeros(n, dtype=bool), files, config, 1e12
+    )
+    writes_out, _, _ = expand_bursts(
+        rng, times, np.ones(n, dtype=bool), files, config, 1e12
+    )
+    read_extra = reads_out.size / n - 1
+    write_extra = writes_out.size / n - 1
+    assert read_extra == pytest.approx(config.read_extra_mean, rel=0.1)
+    assert write_extra == pytest.approx(config.write_extra_mean, rel=0.1)
+    assert read_extra > write_extra
+
+
+def test_expand_bursts_respects_horizon():
+    rng = make_rng(4)
+    times = np.full(1000, 99.0)
+    out_t, _, _ = expand_bursts(
+        rng, times, np.zeros(1000, dtype=bool), np.arange(1000),
+        BurstConfig(), horizon=100.0,
+    )
+    assert out_t.max() < 100.0
+
+
+def test_expand_bursts_empty():
+    rng = make_rng(0)
+    empty = np.empty(0)
+    out = expand_bursts(
+        rng, empty, np.empty(0, dtype=bool), np.empty(0, dtype=np.int64),
+        BurstConfig(), 1e9,
+    )
+    assert out[0].size == 0
+
+
+def test_pack_sessions_keeps_hour_bins():
+    rng = make_rng(5)
+    times = np.sort(make_rng(6).uniform(0, 24 * HOUR, size=2000))
+    packed, sessions = pack_sessions(rng, times, SessionConfig())
+    assert packed.size == times.size
+    np.testing.assert_array_equal(
+        (packed // HOUR).astype(int), (times // HOUR).astype(int)
+    )
+
+
+def test_pack_sessions_produces_short_gaps():
+    rng = make_rng(7)
+    # A dense hour: 300 events.
+    times = np.sort(make_rng(8).uniform(0, HOUR, size=300))
+    packed, _ = pack_sessions(rng, times, SessionConfig())
+    gaps = np.diff(np.sort(packed))
+    assert (gaps < 10).mean() > 0.75
+
+
+def test_pack_sessions_session_ids_unique_per_group():
+    rng = make_rng(9)
+    times = np.sort(make_rng(10).uniform(0, HOUR, size=100))
+    packed, sessions = pack_sessions(rng, times, SessionConfig(mean_session_length=5))
+    assert sessions.size == 100
+    # Members of one session are tightly grouped in time.
+    for sid in np.unique(sessions):
+        member_times = np.sort(packed[sessions == sid])
+        if member_times.size > 1:
+            assert np.diff(member_times).max() <= SessionConfig().intra_gap_cap
+
+
+def test_pack_sessions_group_keys_respected():
+    rng = make_rng(11)
+    times = np.sort(make_rng(12).uniform(0, HOUR, size=200))
+    keys = make_rng(13).integers(0, 5, size=200)
+    _, sessions = pack_sessions(rng, times, SessionConfig(mean_session_length=8),
+                                group_keys=keys)
+    # Most sessions should be key-pure: same-directory events pack together.
+    pure = 0
+    total = 0
+    for sid in np.unique(sessions):
+        members = keys[sessions == sid]
+        total += 1
+        if len(set(members.tolist())) == 1:
+            pure += 1
+    assert pure / total > 0.6
+
+
+def test_pack_sessions_empty():
+    packed, sessions = pack_sessions(make_rng(0), np.empty(0), SessionConfig())
+    assert packed.size == 0 and sessions.size == 0

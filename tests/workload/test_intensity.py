@@ -1,0 +1,102 @@
+"""Combined intensity model tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.timeutil import TraceCalendar
+from repro.util.units import DAY, HOUR
+from repro.workload.intensity import IntensityModel, IntensityPair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return IntensityPair(duration_seconds=56 * DAY)
+
+
+def test_sample_times_in_range(pair):
+    times = pair.read.sample_times(make_rng(1), 5000)
+    assert times.min() >= 0
+    assert times.max() < 56 * DAY
+
+
+def test_sample_times_empty(pair):
+    assert pair.read.sample_times(make_rng(1), 0).size == 0
+
+
+def test_read_sampling_prefers_working_hours(pair):
+    times = pair.read.sample_times(make_rng(2), 20_000)
+    hours = ((times % DAY) // HOUR).astype(int)
+    day_mass = np.isin(hours, range(9, 17)).mean()
+    night_mass = np.isin(hours, range(0, 6)).mean()
+    assert day_mass > 2.5 * night_mass
+
+
+def test_write_sampling_is_flatter(pair):
+    times = pair.write.sample_times(make_rng(3), 20_000)
+    hours = ((times % DAY) // HOUR).astype(int)
+    counts = np.bincount(hours, minlength=24).astype(float)
+    assert counts.max() / counts.min() < 1.6
+
+
+def test_read_sampling_avoids_weekends(pair):
+    calendar = TraceCalendar()
+    times = pair.read.sample_times(make_rng(4), 20_000)
+    weekend = np.fromiter(
+        (calendar.is_weekend(t) for t in times), dtype=bool, count=times.size
+    )
+    # Weekends are 2/7 of days but carry less than 2/7 of reads.
+    assert weekend.mean() < 0.2
+
+
+def test_day_factor_weekend_dip(pair):
+    monday_noon = 0 * DAY + 12 * HOUR
+    saturday_noon = 5 * DAY + 12 * HOUR
+    assert pair.read.day_factor(saturday_noon) < pair.read.day_factor(monday_noon)
+
+
+def test_hour_probabilities_for_dow_normalized(pair):
+    for dow in range(7):
+        probs = pair.read.hour_probabilities_for_dow(dow)
+        assert probs.shape == (24,)
+        assert probs.sum() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        pair.read.hour_probabilities_for_dow(7)
+
+
+def test_monday_morning_maintenance_in_conditionals(pair):
+    from repro.util.timeutil import MONDAY, TUESDAY
+
+    monday = pair.read.hour_probabilities_for_dow(MONDAY)
+    tuesday = pair.read.hour_probabilities_for_dow(TUESDAY)
+    # The maintenance window suppresses Monday's early hours relative to
+    # Tuesday's.
+    assert monday[:6].sum() < tuesday[:6].sum()
+
+
+def test_redraw_hours_keeps_days(pair):
+    rng = make_rng(5)
+    times = np.array([3 * DAY + 2 * HOUR, 10 * DAY + 23 * HOUR])
+    redrawn = pair.read.redraw_hours(rng, times)
+    assert (redrawn // DAY).tolist() == [3, 10]
+
+
+def test_redraw_hours_empty(pair):
+    out = pair.read.redraw_hours(make_rng(0), np.empty(0))
+    assert out.size == 0
+
+
+def test_intensity_model_rejects_zero_duration():
+    with pytest.raises(ValueError):
+        IntensityModel(is_write=False, duration_seconds=0.0)
+
+
+def test_hour_weights_shape(pair):
+    weights = pair.read.hour_weights()
+    assert weights.size == 56 * 24
+    assert np.all(weights >= 0)
+
+
+def test_pair_direction_lookup(pair):
+    assert pair.for_direction(False) is pair.read
+    assert pair.for_direction(True) is pair.write

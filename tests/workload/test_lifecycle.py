@@ -1,0 +1,120 @@
+"""Lifecycle archetype tests (Figure 8 marginals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import make_rng
+from repro.workload.lifecycle import (
+    ARCHETYPE_PROBABILITIES,
+    Archetype,
+    direction_sequence,
+    draw_lifecycles,
+    expected_marginals,
+    sample_extra_writes,
+    sample_heavy_tail,
+)
+
+
+def test_probabilities_sum_to_one():
+    assert sum(ARCHETYPE_PROBABILITIES) == pytest.approx(1.0)
+
+
+def test_expected_marginals_match_paper():
+    m = expected_marginals()
+    assert m["never_read"] == pytest.approx(0.50, abs=0.01)
+    assert m["never_written"] == pytest.approx(0.21, abs=0.01)
+    assert m["written_once"] == pytest.approx(0.65, abs=0.01)
+    assert m["write_once_never_read"] == pytest.approx(0.44, abs=0.01)
+    assert m["exactly_one_access"] == pytest.approx(0.57, abs=0.01)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return draw_lifecycles(make_rng(1), 40_000)
+
+
+def test_archetype_count_rules(sample):
+    a = sample.archetypes
+    w = sample.write_counts
+    r = sample.read_counts
+    m = a == int(Archetype.WRITE_ONCE_NEVER_READ)
+    assert np.all(w[m] == 1) and np.all(r[m] == 0)
+    m = a == int(Archetype.REWRITTEN_NEVER_READ)
+    assert np.all(w[m] >= 2) and np.all(r[m] == 0)
+    m = a == int(Archetype.PREEXISTING_READ_ONCE)
+    assert np.all(w[m] == 0) and np.all(r[m] == 1)
+    m = a == int(Archetype.PREEXISTING_REREAD)
+    assert np.all(w[m] == 0) and np.all(r[m] >= 2)
+    m = a == int(Archetype.ACTIVE_WORKING_FILE)
+    assert np.all(w[m] >= 2) and np.all(r[m] >= 1)
+
+
+def test_every_file_referenced(sample):
+    assert np.all(sample.write_counts + sample.read_counts >= 1)
+
+
+def test_preexisting_flags(sample):
+    pre = sample.preexisting
+    assert np.all(sample.write_counts[pre] == 0)
+    assert pre.mean() == pytest.approx(0.21, abs=0.02)
+
+
+def test_empirical_marginals(sample):
+    w, r = sample.write_counts, sample.read_counts
+    assert (r == 0).mean() == pytest.approx(0.50, abs=0.02)
+    assert (w == 0).mean() == pytest.approx(0.21, abs=0.02)
+    assert (w == 1).mean() == pytest.approx(0.65, abs=0.02)
+    assert ((w == 1) & (r == 0)).mean() == pytest.approx(0.44, abs=0.02)
+    total = w + r
+    assert (total == 1).mean() == pytest.approx(0.57, abs=0.02)
+    assert (total == 2).mean() == pytest.approx(0.19, abs=0.02)
+    assert int(np.median(total)) == 1
+
+
+def test_heavy_tail_mass(sample):
+    total = sample.write_counts + sample.read_counts
+    # Figure 8: ~5 % referenced more than ten times.
+    assert (total > 10).mean() == pytest.approx(0.05, abs=0.02)
+    assert total.max() <= 300
+
+
+def test_large_mask_tilt_preserves_marginals():
+    rng = make_rng(2)
+    large = rng.random(40_000) < 0.28
+    sample = draw_lifecycles(make_rng(3), 40_000, large_mask=large)
+    r = sample.read_counts
+    w = sample.write_counts
+    assert (r == 0).mean() == pytest.approx(0.50, abs=0.03)
+    assert (w == 0).mean() == pytest.approx(0.21, abs=0.03)
+    # Large files carry more reads per file than small ones.
+    assert r[large].mean() > 1.3 * r[~large].mean()
+
+
+def test_large_mask_validation():
+    with pytest.raises(ValueError):
+        draw_lifecycles(make_rng(0), 10, large_mask=np.zeros(5, dtype=bool))
+    with pytest.raises(ValueError):
+        draw_lifecycles(make_rng(0), 0)
+
+
+def test_sample_helpers_empty():
+    assert sample_heavy_tail(make_rng(0), 0).size == 0
+    assert sample_extra_writes(make_rng(0), 0).size == 0
+
+
+def test_extra_writes_mean():
+    extras = sample_extra_writes(make_rng(4), 50_000)
+    assert extras.min() >= 0
+    assert extras.mean() == pytest.approx(2 / 3, abs=0.05)
+
+
+@given(st.integers(0, 6), st.integers(0, 6))
+@settings(max_examples=40, deadline=None)
+def test_direction_sequence_properties(writes, reads):
+    seq = direction_sequence(make_rng(writes * 7 + reads), writes, reads)
+    assert seq.size == writes + reads
+    assert int(seq.sum()) == writes
+    if writes > 0:
+        assert bool(seq[0]) is True  # files are written before being read

@@ -1,0 +1,135 @@
+"""Diurnal / weekly / secular profile tests (Figures 4-6 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.timeutil import MONDAY, SATURDAY, SUNDAY, TRACE_WEEKS
+from repro.workload.diurnal import (
+    HourlyProfile,
+    READ_PROFILE,
+    WRITE_PROFILE,
+    profile_for,
+    validate_shape,
+)
+from repro.workload.trend import READ_TREND, WRITE_TREND, trend_for
+from repro.workload.weekly import READ_WEEKLY, WRITE_WEEKLY, weekly_for
+
+
+# ---------------------------------------------------------------------------
+# Hourly (Figure 4)
+
+
+def test_read_profile_shape():
+    # "The amount of data read jumps greatly at 8 AM ... tails off after 4 PM."
+    w = READ_PROFILE.weights
+    assert w[8] > 2 * w[6]            # the 8 AM jump
+    assert max(w[9:17]) == max(w)     # peak in working hours
+    assert w[20] < w[17]              # evening tail
+    assert w[20] > w[3]               # fall slower than the rise
+
+
+def test_write_profile_nearly_flat():
+    assert WRITE_PROFILE.peak_to_trough() < 1.3
+    assert READ_PROFILE.peak_to_trough() > 4.0
+
+
+def test_profile_for():
+    assert profile_for(False) is READ_PROFILE
+    assert profile_for(True) is WRITE_PROFILE
+
+
+def test_hourly_profile_validation():
+    with pytest.raises(ValueError):
+        HourlyProfile(tuple([1.0] * 23))
+    with pytest.raises(ValueError):
+        HourlyProfile(tuple([-1.0] + [1.0] * 23))
+    with pytest.raises(ValueError):
+        HourlyProfile(tuple([0.0] * 24))
+
+
+def test_hourly_sampling_follows_weights():
+    hours = READ_PROFILE.sample_hours(make_rng(1), 30_000)
+    counts = np.bincount(hours, minlength=24)
+    # Peak working hour should be sampled far more than 3 AM.
+    assert counts[READ_PROFILE.peak_hour()] > 3 * counts[3]
+
+
+def test_validate_shape():
+    validate_shape(READ_PROFILE.weights)
+    night_heavy = (1.0,) * 6 + (0.1,) * 18
+    with pytest.raises(ValueError):
+        validate_shape(night_heavy)
+    with pytest.raises(ValueError):
+        validate_shape((1.0,) * 10)
+
+
+# ---------------------------------------------------------------------------
+# Weekly (Figure 5)
+
+
+def test_weekend_read_dip():
+    assert READ_WEEKLY.weekend_to_weekday() < 0.65
+    assert WRITE_WEEKLY.weekend_to_weekday() > 0.9
+
+
+def test_monday_maintenance_window():
+    normal = READ_WEEKLY.factor(MONDAY, hour=12)
+    early = READ_WEEKLY.factor(MONDAY, hour=4)
+    assert early < normal
+    # Other days have no maintenance dip.
+    assert READ_WEEKLY.factor(SATURDAY, hour=4) == READ_WEEKLY.factor(SATURDAY, 12)
+
+
+def test_weekly_for():
+    assert weekly_for(False) is READ_WEEKLY
+    assert weekly_for(True) is WRITE_WEEKLY
+
+
+def test_weekly_validation():
+    from repro.workload.weekly import WeeklyProfile
+
+    with pytest.raises(ValueError):
+        WeeklyProfile((1.0,) * 6)
+    with pytest.raises(ValueError):
+        WeeklyProfile((-1.0,) + (1.0,) * 6)
+
+
+def test_sunday_saturday_low_for_reads():
+    assert READ_WEEKLY.day_factors[SUNDAY] < min(READ_WEEKLY.day_factors[1:6])
+    assert READ_WEEKLY.day_factors[SATURDAY] < min(READ_WEEKLY.day_factors[1:6])
+
+
+# ---------------------------------------------------------------------------
+# Secular trend (Figure 6)
+
+
+def test_read_trend_grows():
+    assert READ_TREND.week_factor(TRACE_WEEKS - 1) > 2 * READ_TREND.week_factor(0)
+
+
+def test_write_trend_flat_most_weeks():
+    ordinary = [WRITE_TREND.week_factor(w) for w in (5, 30, 70)]
+    assert all(f == pytest.approx(1.0) for f in ordinary)
+
+
+def test_write_trend_yearend_bump():
+    # Late December 1990 falls in trace weeks 11-12.
+    assert WRITE_TREND.week_factor(12) > 1.05
+
+
+def test_holiday_factors():
+    assert READ_TREND.holiday_factor(True) < 0.5
+    assert READ_TREND.holiday_factor(False) == 1.0
+    assert WRITE_TREND.holiday_factor(True) == 1.0  # "the Cray doesn't take
+    # a Christmas vacation"
+
+
+def test_week_factor_clamps_out_of_range():
+    assert READ_TREND.week_factor(-5) == READ_TREND.week_factor(0)
+    assert READ_TREND.week_factor(10_000) == READ_TREND.week_factor(TRACE_WEEKS - 1)
+
+
+def test_trend_for():
+    assert trend_for(False) is READ_TREND
+    assert trend_for(True) is WRITE_TREND
