@@ -6,6 +6,7 @@ Subcommands::
     analyze    print Table 3 / Table 4 for a trace file
     replay     push a trace file through the MSS simulator
     policies   compare migration policies on a synthetic workload
+    sweep      run the Section 6 ablation grid in parallel
     report     run the full experiment suite and print every comparison
 """
 
@@ -72,23 +73,62 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_policies(args: argparse.Namespace) -> int:
-    from repro.hsm import events_from_trace, run_policy
+    from repro.engine import prepare_stream, replay_policy
     from repro.workload.generator import generate_trace
 
     trace = generate_trace(_workload_config(args))
-    events = events_from_trace(trace)
+    batches = prepare_stream(trace)
+    n_events = sum(len(batch) for batch in batches)
     capacity = int(trace.namespace.total_bytes * args.capacity_fraction)
     print(
-        f"{len(events)} deduped references, cache = "
+        f"{n_events} deduped references, cache = "
         f"{args.capacity_fraction:.1%} of {trace.namespace.total_bytes / 1e9:.1f} GB"
     )
     for name in args.policy:
-        metrics = run_policy(events, name, capacity, namespace=trace.namespace)
+        metrics = replay_policy(batches, name, capacity, namespace=trace.namespace)
         print(
             f"{name:15s} miss={metrics.read_miss_ratio:.4f} "
             f"capacity-miss={metrics.capacity_miss_ratio:.4f} "
             f"person-min/day={metrics.person_minutes_per_day():.2f}"
         )
+    return 0
+
+
+def _parse_capacities(value: str):
+    """``--capacities``: an int point count or comma-separated fractions.
+
+    Used as an argparse ``type``, so a ValueError here becomes a clean
+    usage error rather than a traceback.
+    """
+    from repro.engine import log_spaced_fractions
+
+    parts = [part for part in value.split(",") if part]
+    if not parts:
+        raise ValueError("need a point count or capacity fractions")
+    if len(parts) == 1:
+        try:
+            count = int(parts[0])
+        except ValueError:
+            pass  # not an int point count: fall through to fractions
+        else:
+            return log_spaced_fractions(count)
+    return tuple(float(part) for part in parts)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        policies=tuple(part for part in args.policies.split(",") if part),
+        capacity_fractions=args.capacities,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        scale=args.scale,
+        duration_days=args.days,
+        workers=args.workers,
+    )
+    result = run_sweep(config)
+    print(result.render())
+    print(f"wall-clock: {result.elapsed_seconds:.1f}s")
     return 0
 
 
@@ -142,6 +182,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy name (repeatable); default: the full set",
     )
     p.set_defaults(func=_cmd_policies)
+
+    p = sub.add_parser("sweep", help="parallel Section 6 ablation grid")
+    _add_scale_args(p)
+    p.add_argument(
+        "--policies",
+        default="opt,stp,lru,saac",
+        help="comma-separated policy names (default: opt,stp,lru,saac)",
+    )
+    p.add_argument(
+        "--capacities",
+        type=_parse_capacities,
+        default="3",
+        help="point count for a log-spaced capacity sweep, or "
+        "comma-separated capacity fractions (default: 3 points)",
+    )
+    p.add_argument("--seeds", type=int, default=1,
+                   help="number of workload seeds, --seed..--seed+N-1 (default 1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the replay grid (default 1)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")
     _add_scale_args(p)

@@ -366,9 +366,9 @@ def _abstract(study: Study) -> ExperimentResult:
 @experiment("S6", "Section 6: migration policy comparison")
 def _section6(study: Study) -> ExperimentResult:
     from repro.analysis.render import TextTable
-    from repro.hsm import events_from_trace, run_policy
+    from repro.engine import replay_policy
 
-    events = events_from_trace(study.trace)
+    batches = study.event_batches()
     total = study.trace.namespace.total_bytes
     capacity = int(total * paper.STP_DISK_FRACTION_FOR_TARGET)
     table = TextTable(
@@ -377,7 +377,7 @@ def _section6(study: Study) -> ExperimentResult:
     )
     misses = {}
     for name in ("opt", "stp", "lru", "saac", "fifo", "random", "largest-first"):
-        metrics = run_policy(events, name, capacity, namespace=study.trace.namespace)
+        metrics = replay_policy(batches, name, capacity, namespace=study.trace.namespace)
         misses[name] = metrics.read_miss_ratio
         table.add_row(
             name,

@@ -56,6 +56,7 @@ class Study:
         self._trace: Optional[SyntheticTrace] = None
         self._records: Optional[List[TraceRecord]] = None
         self._metrics: Optional[MetricsCollector] = None
+        self._batches: dict = {}
 
     # ------------------------------------------------------------------
     # Lazily produced artifacts
@@ -94,6 +95,18 @@ class Study:
             self.records()
         assert self._metrics is not None
         return self._metrics
+
+    def event_batches(self, deduped: bool = True) -> List["EventBatch"]:
+        """The trace's HSM reference stream as prepared engine batches.
+
+        Cached per dedupe flag: Section 6 experiments replay the same
+        stream against many policies and capacities.
+        """
+        from repro.engine.replay import prepare_stream
+
+        if deduped not in self._batches:
+            self._batches[deduped] = prepare_stream(self.trace, deduped=deduped)
+        return self._batches[deduped]
 
     def good_records(self) -> Iterator[TraceRecord]:
         """Successful references only."""

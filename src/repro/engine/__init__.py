@@ -1,0 +1,62 @@
+"""The columnar event-batch engine.
+
+One streaming pipeline from trace synthesis through HSM replay to the
+Section 6 sweeps: producers yield :class:`EventBatch` chunks, transforms
+are vectorized per batch, and the sweep runner fans grid cells out over
+worker processes.
+"""
+
+from repro.engine.batch import (
+    DEFAULT_CHUNK_SIZE,
+    DEVICE_ORDER,
+    EventBatch,
+    device_at,
+    device_index,
+    rechunk,
+)
+from repro.engine.records import records_from_batch, records_from_batches
+from repro.engine.replay import (
+    build_policy,
+    capacity_sweep_batches,
+    prepare_stream,
+    replay_policy,
+)
+from repro.engine.stream import (
+    BlockDeduper,
+    collect,
+    dedupe_blocks,
+    hsm_event_batches,
+    strip_errors,
+)
+from repro.engine.sweep import (
+    SweepConfig,
+    SweepResult,
+    SweepRow,
+    log_spaced_fractions,
+    run_sweep,
+)
+
+__all__ = [
+    "BlockDeduper",
+    "DEFAULT_CHUNK_SIZE",
+    "DEVICE_ORDER",
+    "EventBatch",
+    "SweepConfig",
+    "SweepResult",
+    "SweepRow",
+    "build_policy",
+    "capacity_sweep_batches",
+    "collect",
+    "dedupe_blocks",
+    "device_at",
+    "device_index",
+    "hsm_event_batches",
+    "log_spaced_fractions",
+    "prepare_stream",
+    "rechunk",
+    "records_from_batch",
+    "records_from_batches",
+    "replay_policy",
+    "run_sweep",
+    "strip_errors",
+]

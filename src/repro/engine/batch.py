@@ -1,0 +1,221 @@
+"""The columnar event batch: the single interchange format between layers.
+
+Every producer (the workload generator, trace readers) and every consumer
+(HSM replay, the MSS simulator, the analyses) speaks :class:`EventBatch`:
+a numpy struct-of-arrays holding one chunk of a time-ordered reference
+stream.  Layers exchange *iterables of batches*, so a two-year
+production-scale trace never has to exist as per-record Python objects --
+the stream is processed chunk by chunk with vectorized column operations,
+and only the code that genuinely needs per-record views (the table/figure
+renderers) materializes records, lazily, through
+:mod:`repro.engine.records`.
+
+The contract:
+
+* columns are parallel 1-D numpy arrays of equal length;
+* ``time`` is nondecreasing within a batch, and batch boundaries are
+  nondecreasing across a stream (a stream of batches is globally
+  time-ordered);
+* ``file_id`` indexes ``namespace.files``; negative ids mark references
+  to files that never existed (NO_SUCH_FILE errors);
+* ``device`` indexes ``Device.storage_devices()`` and ``error`` holds
+  :class:`~repro.trace.errors.ErrorKind` values;
+* the optional columns (``user``, ``latency``, ``transfer``) are carried
+  when the producer has them and dropped by transforms that do not need
+  them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.trace.record import Device
+
+#: Storage devices in column-index order (matches the generator's table).
+DEVICE_ORDER = Device.storage_devices()
+_DEVICE_INDEX = {device: i for i, device in enumerate(DEVICE_ORDER)}
+
+#: Default number of events per batch: large enough that per-batch Python
+#: overhead vanishes, small enough to stay cache- and memory-friendly.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+def device_index(device: Device) -> int:
+    """Column value for one storage device."""
+    return _DEVICE_INDEX[device]
+
+
+def device_at(index: int) -> Device:
+    """Inverse of :func:`device_index`."""
+    return DEVICE_ORDER[index]
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """One chunk of a reference stream as parallel columns."""
+
+    file_id: np.ndarray   # int64; negative = never-existed file
+    size: np.ndarray      # int64 bytes
+    time: np.ndarray      # float64 seconds, nondecreasing
+    is_write: np.ndarray  # bool
+    device: np.ndarray    # int8 index into DEVICE_ORDER
+    error: np.ndarray     # int8 ErrorKind values
+    user: Optional[np.ndarray] = None      # int32
+    latency: Optional[np.ndarray] = None   # float64 seconds
+    transfer: Optional[np.ndarray] = None  # float64 seconds
+
+    def __post_init__(self) -> None:
+        n = self.file_id.shape[0]
+        for name in ("size", "time", "is_write", "device", "error"):
+            column = getattr(self, name)
+            if column.shape != (n,):
+                raise ValueError(
+                    f"column {name!r} has shape {column.shape}, expected ({n},)"
+                )
+        for name in ("user", "latency", "transfer"):
+            column = getattr(self, name)
+            if column is not None and column.shape != (n,):
+                raise ValueError(
+                    f"column {name!r} has shape {column.shape}, expected ({n},)"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape and views
+
+    def __len__(self) -> int:
+        return int(self.file_id.shape[0])
+
+    @property
+    def n_events(self) -> int:
+        """Number of events in the batch."""
+        return len(self)
+
+    def _map(self, fn) -> "EventBatch":
+        """Apply an array transform to every present column."""
+        kwargs = {}
+        for name in ("user", "latency", "transfer"):
+            column = getattr(self, name)
+            kwargs[name] = None if column is None else fn(column)
+        return EventBatch(
+            file_id=fn(self.file_id),
+            size=fn(self.size),
+            time=fn(self.time),
+            is_write=fn(self.is_write),
+            device=fn(self.device),
+            error=fn(self.error),
+            **kwargs,
+        )
+
+    def select(self, mask_or_index: np.ndarray) -> "EventBatch":
+        """Batch restricted to a boolean mask or index array."""
+        return self._map(lambda column: column[mask_or_index])
+
+    def slice(self, start: int, stop: int) -> "EventBatch":
+        """Zero-copy view of rows ``[start, stop)``."""
+        return self._map(lambda column: column[start:stop])
+
+    def good(self) -> "EventBatch":
+        """Successful references only (drops every error row)."""
+        return self.select(self.error == 0)
+
+    def validate(self) -> None:
+        """Raise if the batch violates the stream contract (test hook)."""
+        if len(self) and np.any(np.diff(self.time) < 0):
+            raise ValueError("batch times must be nondecreasing")
+        ok = self.error == 0
+        if np.any(self.file_id[ok] < 0):
+            raise ValueError("negative file ids on successful references")
+        if np.any(self.size < 0):
+            raise ValueError("negative sizes")
+        if len(self) and not (
+            0 <= int(self.device.min()) and int(self.device.max()) < len(DEVICE_ORDER)
+        ):
+            raise ValueError("device index out of range")
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @staticmethod
+    def from_columns(
+        file_id: Sequence[int],
+        size: Sequence[int],
+        time: Sequence[float],
+        is_write: Sequence[bool],
+        device: Optional[Sequence[int]] = None,
+        error: Optional[Sequence[int]] = None,
+        **optional: Optional[Sequence],
+    ) -> "EventBatch":
+        """Build a batch from any array-likes, coercing dtypes."""
+        file_id = np.asarray(file_id, dtype=np.int64)
+        n = file_id.shape[0]
+        zeros8 = np.zeros(n, dtype=np.int8)
+        extras = {}
+        casts = {"user": np.int32, "latency": np.float64, "transfer": np.float64}
+        for name, dtype in casts.items():
+            value = optional.get(name)
+            extras[name] = None if value is None else np.asarray(value, dtype=dtype)
+        unknown = set(optional) - set(casts)
+        if unknown:
+            raise TypeError(f"unknown columns {sorted(unknown)}")
+        return EventBatch(
+            file_id=file_id,
+            size=np.asarray(size, dtype=np.int64),
+            time=np.asarray(time, dtype=np.float64),
+            is_write=np.asarray(is_write, dtype=bool),
+            device=zeros8 if device is None else np.asarray(device, dtype=np.int8),
+            error=zeros8 if error is None else np.asarray(error, dtype=np.int8),
+            **extras,
+        )
+
+    @staticmethod
+    def empty() -> "EventBatch":
+        """A zero-length batch."""
+        return EventBatch.from_columns([], [], [], [])
+
+    @staticmethod
+    def concat(batches: Sequence["EventBatch"]) -> "EventBatch":
+        """One batch holding every event of ``batches``, in order."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return EventBatch.empty()
+        if len(batches) == 1:
+            return batches[0]
+
+        def cat(name: str) -> Optional[np.ndarray]:
+            columns = [getattr(b, name) for b in batches]
+            if any(c is None for c in columns):
+                return None
+            return np.concatenate(columns)
+
+        return EventBatch(
+            file_id=cat("file_id"),
+            size=cat("size"),
+            time=cat("time"),
+            is_write=cat("is_write"),
+            device=cat("device"),
+            error=cat("error"),
+            user=cat("user"),
+            latency=cat("latency"),
+            transfer=cat("transfer"),
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator["EventBatch"]:
+        """Re-chunk one batch into smaller zero-copy views."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        for start in range(0, len(self), chunk_size):
+            yield self.slice(start, start + chunk_size)
+
+
+def rechunk(
+    batches: Iterable[EventBatch], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[EventBatch]:
+    """Re-chunk a batch stream to ``chunk_size``-event batches."""
+    for batch in batches:
+        yield from batch.chunks(chunk_size)

@@ -1,0 +1,65 @@
+"""The thin record-view adapter: batches -> lazy ``TraceRecord`` views.
+
+The analyses and the trace writer render per-record views (paths, flags,
+users).  Rather than teaching every table and figure about columns, this
+adapter materializes :class:`~repro.trace.record.TraceRecord` objects
+lazily from a batch stream, so record-consuming code keeps working while
+the layers below it move columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.engine.batch import DEVICE_ORDER, EventBatch
+from repro.namespace.model import Namespace
+from repro.trace.errors import ErrorKind
+from repro.trace.record import TraceRecord, make_read, make_write
+
+
+def records_from_batch(
+    batch: EventBatch, namespace: Namespace
+) -> Iterator[TraceRecord]:
+    """Yield one batch as records, in order."""
+    n = len(batch)
+    users = batch.user if batch.user is not None else np.zeros(n, dtype=np.int32)
+    latencies = (
+        batch.latency if batch.latency is not None else np.zeros(n, dtype=np.float64)
+    )
+    transfers = (
+        batch.transfer if batch.transfer is not None else np.zeros(n, dtype=np.float64)
+    )
+    rows = zip(
+        batch.file_id.tolist(),
+        batch.size.tolist(),
+        batch.time.tolist(),
+        batch.is_write.tolist(),
+        batch.device.tolist(),
+        batch.error.tolist(),
+        users.tolist(),
+        latencies.tolist(),
+        transfers.tolist(),
+    )
+    path_of = namespace.path_of
+    for file_id, size, time, is_write, device, error, user, latency, transfer in rows:
+        maker = make_write if is_write else make_read
+        yield maker(
+            device=DEVICE_ORDER[device],
+            start_time=time,
+            file_size=size,
+            mss_path=path_of(file_id),
+            user_id=user,
+            startup_latency=latency,
+            transfer_time=transfer,
+            error=ErrorKind(error),
+        )
+
+
+def records_from_batches(
+    batches: Iterable[EventBatch], namespace: Namespace
+) -> Iterator[TraceRecord]:
+    """Lazy record view of a whole batch stream."""
+    for batch in batches:
+        yield from records_from_batch(batch, namespace)

@@ -1,0 +1,72 @@
+"""Batch-oriented HSM replay: the engine-side policy runners.
+
+These mirror ``repro.hsm.run_policy`` / ``capacity_sweep`` but move
+:class:`~repro.engine.batch.EventBatch`es end to end: the stream is never
+expanded into per-event tuples, OPT builds its future schedule with one
+vectorized pass, and a prepared stream can be replayed against many
+(policy, capacity) cells without re-deriving it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.engine.batch import EventBatch
+from repro.engine.stream import collect, hsm_event_batches
+from repro.hsm.manager import HSM, HSMConfig
+from repro.hsm.metrics import HSMMetrics
+from repro.migration.opt import OptimalPolicy
+from repro.migration.policy import MigrationPolicy
+from repro.migration.registry import make_policy
+from repro.namespace.model import Namespace
+
+
+def prepare_stream(
+    trace, deduped: bool = True, chunk_size: int = 65_536
+) -> List[EventBatch]:
+    """Materialize a trace's HSM reference stream as batches.
+
+    The list is compact (a few numpy arrays per chunk) and reusable
+    across every cell of a sweep; OPT also needs the whole stream ahead
+    of time for its schedule.
+    """
+    return collect(hsm_event_batches(trace, deduped=deduped, chunk_size=chunk_size))
+
+
+def build_policy(policy_name: str, batches: Iterable[EventBatch]) -> MigrationPolicy:
+    """Instantiate a policy by name; OPT gets the full future schedule."""
+    if policy_name == "opt":
+        return OptimalPolicy.from_batches(list(batches))
+    return make_policy(policy_name)
+
+
+def replay_policy(
+    batches: List[EventBatch],
+    policy_name: str,
+    capacity_bytes: int,
+    namespace: Optional[Namespace] = None,
+    writeback_delay: Optional[float] = 4 * 3600.0,
+    prefetch: bool = False,
+) -> HSMMetrics:
+    """Run one named policy over a prepared batch stream."""
+    policy = build_policy(policy_name, batches)
+    config = HSMConfig.with_capacity(
+        capacity_bytes, writeback_delay=writeback_delay, prefetch=prefetch
+    )
+    hsm = HSM(config, policy, namespace=namespace)
+    return hsm.replay(batches)
+
+
+def capacity_sweep_batches(
+    batches: List[EventBatch],
+    policy_name: str,
+    total_bytes: int,
+    fractions: Iterable[float],
+    namespace: Optional[Namespace] = None,
+) -> Iterator[Tuple[float, HSMMetrics]]:
+    """Miss ratio vs capacity over a prepared stream (Section 2.3 curve)."""
+    for fraction in fractions:
+        capacity = max(int(total_bytes * fraction), 1)
+        yield fraction, replay_policy(
+            batches, policy_name, capacity, namespace=namespace
+        )

@@ -1,0 +1,251 @@
+"""The parallel experiment runner: seeds x capacities x policies.
+
+One call fans the full Section 6 ablation grid out over worker processes.
+The parent synthesizes each seed's trace once and prepares its batch
+stream; workers inherit the prepared streams (fork) or receive them once
+at start-up (spawn) and then replay grid cells independently -- replay is
+the embarrassingly parallel part, so wall-clock scales with cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
+from repro.engine.replay import prepare_stream, replay_policy
+from repro.hsm.metrics import HSMMetrics
+from repro.util.units import DAY
+
+#: Capacity range (fractions of the referenced store) a point-count sweep
+#: spans: around the paper's ~1.5 % managed-disk operating point.
+DEFAULT_FRACTION_RANGE = (0.005, 0.08)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """The full grid one sweep covers."""
+
+    policies: Tuple[str, ...]
+    capacity_fractions: Tuple[float, ...]
+    seeds: Tuple[int, ...] = (0,)
+    scale: float = 0.02
+    duration_days: Optional[float] = None
+    writeback_delay: Optional[float] = 4 * 3600.0
+    workers: int = 1
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        from repro.migration.registry import available_policies
+
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        known = set(available_policies()) | {"opt"}
+        unknown = [name for name in self.policies if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown policies {unknown}; choose from {sorted(known)}"
+            )
+        if not self.capacity_fractions:
+            raise ValueError("need at least one capacity fraction")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    @property
+    def n_cells(self) -> int:
+        """Number of grid cells."""
+        return len(self.policies) * len(self.capacity_fractions) * len(self.seeds)
+
+
+def log_spaced_fractions(
+    count: int,
+    low: float = DEFAULT_FRACTION_RANGE[0],
+    high: float = DEFAULT_FRACTION_RANGE[1],
+) -> Tuple[float, ...]:
+    """``count`` log-spaced capacity fractions in ``[low, high]``."""
+    if count < 1:
+        raise ValueError("need at least one capacity point")
+    if count == 1:
+        return (low * (high / low) ** 0.5,)
+    ratio = (high / low) ** (1.0 / (count - 1))
+    return tuple(low * ratio**i for i in range(count))
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One replayed grid cell."""
+
+    seed: int
+    policy: str
+    capacity_fraction: float
+    capacity_bytes: int
+    metrics: HSMMetrics
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced."""
+
+    config: SweepConfig
+    rows: List[SweepRow]
+    prepare_seconds: float
+    replay_seconds: float
+    total_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total wall-clock (stream preparation + parallel replay)."""
+        return self.prepare_seconds + self.replay_seconds
+
+    def aggregated(self) -> Dict[Tuple[str, float], HSMMetrics]:
+        """Seed-summed metrics per (policy, capacity fraction) cell.
+
+        Every counter field sums across seeds; ``span_seconds`` is a
+        duration, so the grid cell keeps the longest seed's span.
+        """
+        import dataclasses
+
+        counter_names = [
+            field.name
+            for field in dataclasses.fields(HSMMetrics)
+            if field.name != "span_seconds"
+        ]
+        merged: Dict[Tuple[str, float], HSMMetrics] = {}
+        for row in self.rows:
+            key = (row.policy, row.capacity_fraction)
+            bucket = merged.setdefault(key, HSMMetrics())
+            for name in counter_names:
+                setattr(bucket, name, getattr(bucket, name) + getattr(row.metrics, name))
+            bucket.span_seconds = max(bucket.span_seconds, row.metrics.span_seconds)
+        return merged
+
+    def render(self) -> str:
+        """The Section 6 comparison table over the whole grid."""
+        from repro.analysis.render import TextTable
+
+        table = TextTable(
+            ["policy", "capacity", "miss ratio", "capacity-miss", "person-min/day"],
+            title=(
+                f"Section 6 sweep: {len(self.config.policies)} policies x "
+                f"{len(self.config.capacity_fractions)} capacities x "
+                f"{len(self.config.seeds)} seeds (scale {self.config.scale})"
+            ),
+        )
+        merged = self.aggregated()
+        for policy in self.config.policies:
+            for fraction in self.config.capacity_fractions:
+                metrics = merged[(policy, fraction)]
+                per_seed = metrics.person_minutes_per_day() / len(self.config.seeds)
+                table.add_row(
+                    policy,
+                    f"{fraction:.3%}",
+                    f"{metrics.read_miss_ratio:.4f}",
+                    f"{metrics.capacity_miss_ratio:.4f}",
+                    f"{per_seed:.2f}",
+                )
+        lines = [table.render()]
+        lines.append(
+            f"prepare {self.prepare_seconds:.1f}s + replay {self.replay_seconds:.1f}s "
+            f"({self.config.n_cells} cells, {self.config.workers} workers)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+
+#: seed -> (prepared batch stream, referenced-store bytes); populated in
+#: the parent and inherited (fork) or shipped via the initializer (spawn).
+_WORKER_STREAMS: Dict[int, Tuple[List[EventBatch], int]] = {}
+
+
+def _init_worker(streams: Dict[int, Tuple[List[EventBatch], int]]) -> None:
+    global _WORKER_STREAMS
+    _WORKER_STREAMS = streams
+
+
+def _run_cell(task: Tuple[int, str, float, Optional[float]]) -> SweepRow:
+    return _run_cell_with(_WORKER_STREAMS, task)
+
+
+def _run_cell_with(
+    streams: Dict[int, Tuple[List[EventBatch], int]],
+    task: Tuple[int, str, float, Optional[float]],
+) -> SweepRow:
+    seed, policy, fraction, writeback_delay = task
+    batches, total_bytes = streams[seed]
+    capacity = max(int(total_bytes * fraction), 1)
+    metrics = replay_policy(
+        batches, policy, capacity, writeback_delay=writeback_delay
+    )
+    return SweepRow(
+        seed=seed,
+        policy=policy,
+        capacity_fraction=fraction,
+        capacity_bytes=capacity,
+        metrics=metrics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+
+
+def _prepare_streams(
+    config: SweepConfig,
+) -> Dict[int, Tuple[List[EventBatch], int]]:
+    from repro.workload.config import WorkloadConfig
+    from repro.workload.generator import generate_trace
+
+    streams: Dict[int, Tuple[List[EventBatch], int]] = {}
+    for seed in config.seeds:
+        kwargs = {"scale": config.scale, "seed": seed, "fill_latencies": False}
+        if config.duration_days is not None:
+            kwargs["duration_seconds"] = config.duration_days * DAY
+        trace = generate_trace(WorkloadConfig(**kwargs))
+        streams[seed] = (
+            prepare_stream(trace, chunk_size=config.chunk_size),
+            trace.namespace.total_bytes,
+        )
+    return streams
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Run the full grid; parallel across cells when ``workers > 1``."""
+    start = _time.perf_counter()
+    streams = _prepare_streams(config)
+    prepared = _time.perf_counter()
+
+    tasks = [
+        (seed, policy, fraction, config.writeback_delay)
+        for seed in config.seeds
+        for policy in config.policies
+        for fraction in config.capacity_fractions
+    ]
+    if config.workers == 1:
+        # Streams stay a local: parking them in the worker global would
+        # pin every seed's arrays in this process for its lifetime.
+        rows = [_run_cell_with(streams, task) for task in tasks]
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = multiprocessing.get_context("spawn")
+        workers = min(config.workers, len(tasks))
+        with ctx.Pool(
+            processes=workers, initializer=_init_worker, initargs=(streams,)
+        ) as pool:
+            rows = pool.map(_run_cell, tasks, chunksize=1)
+    done = _time.perf_counter()
+
+    return SweepResult(
+        config=config,
+        rows=rows,
+        prepare_seconds=prepared - start,
+        replay_seconds=done - prepared,
+        total_bytes={seed: total for seed, (_, total) in streams.items()},
+    )

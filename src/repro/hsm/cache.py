@@ -10,8 +10,9 @@ space can be reclaimed without further tape work.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.hsm.metrics import HSMMetrics
 from repro.migration.policy import MigrationPolicy
@@ -38,7 +39,7 @@ class CacheConfig:
             raise ValueError("need 0 < low <= high <= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """What one reference did to the cache."""
 
@@ -63,8 +64,16 @@ class ManagedDiskCache:
         self._sizes: Dict[int, int] = {}
         self._ever_seen: Set[int] = set()
         self._dirty: Set[int] = set()
-        self._flush_queue: List[Tuple[float, int]] = []  # (due time, file)
+        #: Min-heap of (due time, file, version); entries whose version no
+        #: longer matches ``_flush_version`` are stale and skipped on pop
+        #: (lazy invalidation -- cheaper than rebuilding the queue on every
+        #: rewrite, which the old sorted-list queue did).
+        self._flush_queue: List[Tuple[float, int, int]] = []
+        self._flush_version: Dict[int, int] = {}
         self._usage = 0
+        # Hot-loop constants (the config is frozen, so these never move).
+        self._high_bytes = config.high_watermark * config.capacity_bytes
+        self._writeback_delay = config.writeback_delay
         self._first_time: Optional[float] = None
         self._last_time: Optional[float] = None
 
@@ -109,35 +118,160 @@ class ManagedDiskCache:
         """Apply one reference; returns what happened."""
         if size <= 0:
             raise ValueError("file size must be positive")
-        if size > self.config.capacity_bytes:
-            raise ValueError(
-                f"file of {size} bytes cannot fit a "
-                f"{self.config.capacity_bytes}-byte cache"
-            )
         self._note_time(time)
         self.flush_due(time)
+        if size > self.config.capacity_bytes:
+            return self._bypass(file_id, size, time, is_write)
         if is_write:
             return self._write(file_id, size, time)
         return self._read(file_id, size, time)
 
+    def _bypass(
+        self, file_id: int, size: int, time: float, is_write: bool
+    ) -> AccessOutcome:
+        """A file larger than the managed disk cannot be staged: it moves
+        directly between the Cray and tape, leaving the cache untouched."""
+        metrics = self.metrics
+        if is_write:
+            metrics.writes += 1
+            metrics.bytes_written += size
+            metrics.bypassed_writes += 1
+            metrics.tape_writes += 1
+            metrics.bytes_flushed += size
+            # The tape copy exists now, so a later read is not compulsory.
+            self._ever_seen.add(file_id)
+            return AccessOutcome(hit=False)
+        metrics.reads += 1
+        metrics.read_misses += 1
+        metrics.bypassed_reads += 1
+        if file_id not in self._ever_seen:
+            metrics.compulsory_misses += 1
+            self._ever_seen.add(file_id)
+        metrics.bytes_staged += size
+        return AccessOutcome(hit=False, staged_bytes=size)
+
+    def access_batch(
+        self,
+        file_ids: Sequence[int],
+        sizes: Sequence[int],
+        times: Sequence[float],
+        writes: Sequence[bool],
+    ) -> None:
+        """Apply one time-ordered batch of references.
+
+        Semantically identical to calling :meth:`access` per event (final
+        metrics and cache/policy state match exactly), but the read-hit
+        fast path is inlined: hits neither allocate an
+        :class:`AccessOutcome` nor call into the policy one event at a
+        time -- consecutive hits are buffered and handed to the policy as
+        one :meth:`~repro.migration.policy.MigrationPolicy.on_access_batch`
+        run just before the next state-changing event.  This is the hot
+        loop of every Section 6 sweep.
+        """
+        n = len(file_ids)
+        if n == 0:
+            return
+        capacity = self.config.capacity_bytes
+        # Whole-batch pre-check: when every size is positive and fits the
+        # cache (the normal case) the hot loop can skip two comparisons
+        # per event; a batch with a nonpositive or oversized size replays
+        # through the exact per-event path, which raises / bypasses at
+        # the same point `access` would.
+        if min(sizes) <= 0 or max(sizes) > capacity:
+            self._access_batch_checked(file_ids, sizes, times, writes)
+            return
+
+        sizes_map = self._sizes
+        queue = self._flush_queue
+        policy = self.policy
+        metrics = self.metrics
+        hit_files: List[int] = []
+        hit_times: List[float] = []
+        append_hit_file = hit_files.append
+        append_hit_time = hit_times.append
+        flush_due = self.flush_due
+        stage_miss = self._stage_miss
+        write = self._write_batch
+
+        def drain_hits() -> None:
+            metrics.reads += len(hit_files)
+            metrics.read_hits += len(hit_files)
+            policy.on_access_batch(hit_files, hit_times)
+            hit_files.clear()
+            hit_times.clear()
+
+        for file_id, size, time, is_write in zip(file_ids, sizes, times, writes):
+            if queue and queue[0][0] <= time:
+                flush_due(time)
+            if not is_write and file_id in sizes_map:
+                append_hit_file(file_id)
+                append_hit_time(time)
+                continue
+            if hit_files:
+                drain_hits()
+            if is_write:
+                write(file_id, size, time)
+            else:
+                stage_miss(file_id, size, time)
+        if hit_files:
+            drain_hits()
+        if self._first_time is None:
+            self._first_time = float(times[0])
+        self._last_time = float(times[n - 1])
+        metrics.span_seconds = self._last_time - self._first_time
+
+    def _access_batch_checked(
+        self,
+        file_ids: Sequence[int],
+        sizes: Sequence[int],
+        times: Sequence[float],
+        writes: Sequence[bool],
+    ) -> None:
+        """Per-event batch path for streams with oversized or bad sizes."""
+        capacity = self.config.capacity_bytes
+        last_seen: Optional[float] = None
+        try:
+            for file_id, size, time, is_write in zip(file_ids, sizes, times, writes):
+                if size <= 0:
+                    raise ValueError("file size must be positive")
+                last_seen = time
+                self.flush_due(time)
+                if size > capacity:
+                    self._bypass(file_id, size, time, is_write)
+                elif is_write:
+                    self._write(file_id, size, time)
+                else:
+                    self._read(file_id, size, time)
+        finally:
+            if last_seen is not None:
+                if self._first_time is None:
+                    self._first_time = float(times[0])
+                self._last_time = float(last_seen)
+                self.metrics.span_seconds = self._last_time - self._first_time
+
     def _read(self, file_id: int, size: int, time: float) -> AccessOutcome:
-        self.metrics.reads += 1
         if file_id in self._sizes:
+            self.metrics.reads += 1
             self.metrics.read_hits += 1
             self.policy.on_access(file_id, time, is_write=False)
             return AccessOutcome(hit=True)
-        # Miss: stage from tape.
-        self.metrics.read_misses += 1
-        if file_id not in self._ever_seen:
-            self.metrics.compulsory_misses += 1
-        self.metrics.bytes_staged += size
-        evicted = self._insert(file_id, size, time, dirty=False)
+        evicted = self._stage_miss(file_id, size, time)
         return AccessOutcome(hit=False, staged_bytes=size, evicted=evicted)
+
+    def _stage_miss(self, file_id: int, size: int, time: float) -> List[int]:
+        """Read-miss bookkeeping + staging (shared by both access paths)."""
+        metrics = self.metrics
+        metrics.reads += 1
+        metrics.read_misses += 1
+        if file_id not in self._ever_seen:
+            metrics.compulsory_misses += 1
+        metrics.bytes_staged += size
+        return self._insert(file_id, size, time, dirty=False)
 
     def _write(self, file_id: int, size: int, time: float) -> AccessOutcome:
         self.metrics.writes += 1
         self.metrics.bytes_written += size
-        delay = self.config.writeback_delay
+        delay = self._writeback_delay
         if file_id in self._sizes:
             hit = True
             self.policy.on_access(file_id, time, is_write=True)
@@ -154,9 +288,38 @@ class ManagedDiskCache:
             self._flush_now(file_id)
         else:
             self._dirty.add(file_id)
-            self._flush_queue.append((time + delay, file_id))
-            self._flush_queue.sort()
+            heapq.heappush(
+                self._flush_queue,
+                (time + delay, file_id, self._flush_version.get(file_id, 0)),
+            )
         return AccessOutcome(hit=hit, evicted=evicted)
+
+    def _write_batch(self, file_id: int, size: int, time: float) -> None:
+        """Outcome-free mirror of :meth:`_write` for the batch hot loop.
+
+        Keep in sync with :meth:`_write`; the replay-equivalence tests
+        pin the two paths to identical metrics and state.
+        """
+        metrics = self.metrics
+        metrics.writes += 1
+        metrics.bytes_written += size
+        sizes_map = self._sizes
+        if file_id in sizes_map:
+            self.policy.on_access(file_id, time, is_write=True)
+            if file_id in self._dirty:
+                metrics.rewrites_absorbed += 1
+                self._unschedule_flush(file_id)
+        else:
+            self._insert(file_id, size, time, dirty=True)
+        delay = self._writeback_delay
+        if delay is None:
+            self._flush_now(file_id)
+        else:
+            self._dirty.add(file_id)
+            heapq.heappush(
+                self._flush_queue,
+                (time + delay, file_id, self._flush_version.get(file_id, 0)),
+            )
 
     # ------------------------------------------------------------------
     # Flushing (tape writes)
@@ -164,9 +327,13 @@ class ManagedDiskCache:
     def flush_due(self, now: float) -> int:
         """Flush dirty files whose write-back timer expired."""
         flushed = 0
-        while self._flush_queue and self._flush_queue[0][0] <= now:
-            _, file_id = self._flush_queue.pop(0)
-            if file_id in self._dirty:
+        queue = self._flush_queue
+        while queue and queue[0][0] <= now:
+            _, file_id, version = heapq.heappop(queue)
+            if (
+                version == self._flush_version.get(file_id, 0)
+                and file_id in self._dirty
+            ):
                 self._flush_now(file_id)
                 flushed += 1
         return flushed
@@ -186,9 +353,7 @@ class ManagedDiskCache:
         self._dirty.discard(file_id)
 
     def _unschedule_flush(self, file_id: int) -> None:
-        self._flush_queue = [
-            entry for entry in self._flush_queue if entry[1] != file_id
-        ]
+        self._flush_version[file_id] = self._flush_version.get(file_id, 0) + 1
 
     # ------------------------------------------------------------------
     # Insertion and migration
@@ -196,7 +361,10 @@ class ManagedDiskCache:
     def _insert(
         self, file_id: int, size: int, time: float, dirty: bool
     ) -> List[int]:
-        evicted = self._make_room(size, time, protect=file_id)
+        if self._usage + size > self._high_bytes:
+            evicted = self._make_room(size, time, protect=file_id)
+        else:
+            evicted = []
         self._sizes[file_id] = size
         self._ever_seen.add(file_id)
         self._usage += size

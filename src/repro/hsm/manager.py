@@ -9,7 +9,7 @@ write-back, and measure what prefetching buys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple
 
 from repro.hsm.cache import CacheConfig, ManagedDiskCache
 from repro.hsm.metrics import HSMMetrics
@@ -20,7 +20,11 @@ from repro.migration.registry import make_policy
 from repro.namespace.model import Namespace
 from repro.workload.generator import SyntheticTrace
 
-#: One reference: (file_id, size_bytes, time_seconds, is_write).
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
+
+#: One reference: (file_id, size_bytes, time_seconds, is_write).  Legacy
+#: per-tuple form; the pipeline moves :class:`EventBatch`es instead.
 Event = Tuple[int, int, float, bool]
 
 
@@ -96,9 +100,43 @@ class HSM:
             self.prefetcher.note_prefetched(sibling_id)
 
     def run(self, events: Iterable[Event]) -> HSMMetrics:
-        """Replay a whole reference stream."""
+        """Replay a whole per-tuple reference stream.
+
+        Legacy entry point kept for unit tests and ad-hoc streams; the
+        pipeline path is :meth:`replay` over :class:`EventBatch`es.
+        """
         for event in events:
             self.handle(event)
+        self.cache.flush_all()
+        return self.metrics
+
+    def replay(self, batches: Iterable["EventBatch"]) -> HSMMetrics:
+        """Replay a stream of columnar :class:`EventBatch`es.
+
+        Produces metrics identical to feeding the same events through
+        :meth:`run` one tuple at a time, but drives the cache through its
+        batch access path (buffered hit runs, no per-event allocations).
+        With prefetching enabled the per-event path is used, because every
+        access outcome feeds the prefetcher.
+        """
+        if self.prefetcher is not None:
+            for batch in batches:
+                handle = self.handle
+                for event in zip(
+                    batch.file_id.tolist(),
+                    batch.size.tolist(),
+                    batch.time.tolist(),
+                    batch.is_write.tolist(),
+                ):
+                    handle(event)
+        else:
+            for batch in batches:
+                self.cache.access_batch(
+                    batch.file_id.tolist(),
+                    batch.size.tolist(),
+                    batch.time.tolist(),
+                    batch.is_write.tolist(),
+                )
         self.cache.flush_all()
         return self.metrics
 
@@ -114,6 +152,10 @@ def events_from_trace(
 
     Failed references are dropped; by default the 8-hour dedupe is applied
     (migration decisions would not see batch-script re-requests, Section 6).
+
+    Legacy record-walking implementation, kept as the reference the
+    engine's columnar pipeline (:func:`repro.engine.stream.hsm_event_batches`)
+    is verified against; new code should use the engine path.
     """
     from repro.trace.filters import dedupe_for_file_analysis, strip_errors
 

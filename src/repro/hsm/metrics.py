@@ -13,9 +13,13 @@ DISK_HIT_LATENCY = paper.TABLE3_DEVICE_TOTALS[Device.MSS_DISK].secs_to_first_byt
 TAPE_MISS_LATENCY = paper.TAPE_AVG_ACCESS
 
 
-@dataclass
+@dataclass(slots=True)
 class HSMMetrics:
-    """Everything a migration experiment reports."""
+    """Everything a migration experiment reports.
+
+    Slotted: the replay loop increments these counters millions of times
+    per sweep cell.
+    """
 
     reads: int = 0
     read_hits: int = 0
@@ -33,6 +37,10 @@ class HSMMetrics:
     forced_flushes: int = 0
     prefetches_issued: int = 0
     prefetch_hits: int = 0
+    #: References to files larger than the managed disk, which move
+    #: directly between the Cray and tape without touching the cache.
+    bypassed_reads: int = 0
+    bypassed_writes: int = 0
     span_seconds: float = field(default=0.0)
 
     @property

@@ -38,6 +38,35 @@ class OptimalPolicy(MigrationPolicy):
             schedule.setdefault(file_id, []).append(time)
         return OptimalPolicy(schedule)
 
+    @staticmethod
+    def from_batches(batches: Sequence) -> "OptimalPolicy":
+        """Build the schedule from :class:`~repro.engine.batch.EventBatch`es.
+
+        Vectorized: one lexsort over the concatenated (file, time) columns
+        replaces the per-event dict appends of :meth:`from_events`.
+        """
+        import numpy as np
+
+        arrays = [(b.file_id, b.time) for b in batches if len(b)]
+        if not arrays:
+            return OptimalPolicy({})
+        file_ids = np.concatenate([a for a, _ in arrays])
+        times = np.concatenate([t for _, t in arrays])
+        order = np.lexsort((times, file_ids))
+        file_ids = file_ids[order]
+        times = times[order]
+        boundaries = np.flatnonzero(np.diff(file_ids)) + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [file_ids.size]])
+        policy = OptimalPolicy({})
+        schedule = policy._schedule
+        times_list = times.tolist()
+        for start, stop, fid in zip(
+            starts.tolist(), stops.tolist(), file_ids[starts].tolist()
+        ):
+            schedule[fid] = times_list[start:stop]
+        return policy
+
     def next_reference_after(self, file_id: int, now: float) -> float:
         """First reference to the file strictly after ``now``."""
         times = self._schedule.get(file_id)

@@ -8,13 +8,18 @@ the cache in :mod:`repro.hsm` owns capacity accounting.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class ResidentFile:
-    """Metadata a policy tracks for one cached file."""
+    """Metadata a policy tracks for one cached file.
+
+    Slotted: one instance exists per resident file and every policy's
+    ``rank`` reads it on every migration wave.
+    """
 
     file_id: int
     size: int
@@ -49,6 +54,27 @@ class MigrationPolicy:
             raise KeyError(f"file {file_id} is not resident")
         meta.last_access = time
         meta.access_count += 1
+
+    def on_access_batch(
+        self, file_ids: Sequence[int], times: Sequence[float]
+    ) -> None:
+        """A run of read hits on resident files, in time order.
+
+        Called by the batch replay loop between state-changing events.
+        The base implementation updates the shared bookkeeping inline;
+        policies that override :meth:`on_access` (to keep extra per-access
+        state, like SAAC's decayed rates) are automatically fed one event
+        at a time so their hook still sees every access.
+        """
+        if type(self).on_access is not MigrationPolicy.on_access:
+            for file_id, time in zip(file_ids, times):
+                self.on_access(file_id, time, is_write=False)
+            return
+        resident = self._resident
+        for file_id, time in zip(file_ids, times):
+            meta = resident[file_id]  # KeyError = not resident
+            meta.last_access = time
+            meta.access_count += 1
 
     def on_evict(self, file_id: int) -> None:
         """A file has been migrated off the disk."""
@@ -89,15 +115,23 @@ class MigrationPolicy:
         """
         chosen: List[int] = []
         freed = 0
-        candidates = [
-            meta for meta in self._resident.values() if meta.file_id != protect
+        rank = self.rank
+        # Lazy selection: heapify is O(candidates) and only the victims
+        # actually taken pay a log-cost pop, instead of fully sorting the
+        # residency list on every migration wave.  The index tiebreak
+        # reproduces the stable descending sort exactly, so victim order
+        # (and therefore every downstream metric) is unchanged.
+        entries = [
+            (-rank(meta, now), index, meta.file_id, meta.size)
+            for index, meta in enumerate(self._resident.values())
+            if meta.file_id != protect
         ]
-        candidates.sort(key=lambda meta: self.rank(meta, now), reverse=True)
-        for meta in candidates:
-            if freed >= needed_bytes:
-                break
-            chosen.append(meta.file_id)
-            freed += meta.size
+        heapq.heapify(entries)
+        pop = heapq.heappop
+        while entries and freed < needed_bytes:
+            _, _, file_id, size = pop(entries)
+            chosen.append(file_id)
+            freed += size
         return chosen
 
     def rank(self, meta: ResidentFile, now: float) -> float:

@@ -10,7 +10,7 @@ decomposition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,10 @@ from repro.mss.request import MSSRequest
 from repro.mss.tape import ShelfStation, TapeConfig, TapeSilo
 from repro.trace.record import Device, TraceRecord
 from repro.util.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
+    from repro.namespace.model import Namespace
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,19 @@ class MSSSystem:
                 )
             )
         return out, self.metrics
+
+    def replay_batches(
+        self, batches: Iterable["EventBatch"], namespace: "Namespace"
+    ) -> Tuple[List[TraceRecord], MetricsCollector]:
+        """Replay a columnar batch stream.
+
+        Batches flow straight from the generator; the record-view adapter
+        materializes per-request views lazily, so no intermediate record
+        list exists before submission.
+        """
+        from repro.engine.records import records_from_batches
+
+        return self.replay(records_from_batches(batches, namespace))
 
 
 def replay_trace(

@@ -107,6 +107,17 @@ class Namespace:
         except KeyError as exc:
             raise KeyError(f"no such file {path!r}") from exc
 
+    def path_of(self, file_id: int) -> str:
+        """MSS path for a (possibly negative) trace file id.
+
+        Negative ids mark references to files that never existed (the
+        NO_SUCH_FILE errors); they get a synthesized ``/lost`` path.
+        This is the one place that mapping lives.
+        """
+        if file_id >= 0:
+            return self.files[file_id].path
+        return f"/lost/req{-file_id:07d}.dat"
+
     def directory_of(self, file_entry: FileEntry) -> DirectoryEntry:
         """The directory containing a file."""
         return self.directories[file_entry.dir_id]

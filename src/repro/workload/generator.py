@@ -31,7 +31,7 @@ from repro.core import paper
 from repro.namespace.dirtree import generate_namespace
 from repro.namespace.model import Namespace
 from repro.trace.errors import ErrorKind
-from repro.trace.record import Device, TraceRecord, make_read, make_write
+from repro.trace.record import Device, TraceRecord
 from repro.trace.writer import TraceWriter
 from repro.util.rng import SeedSequenceFactory
 from repro.util.units import DAY
@@ -82,26 +82,42 @@ class SyntheticTrace:
 
     def path_of(self, index: int) -> str:
         """MSS path of one event (synthesized for never-existed files)."""
-        fid = int(self.file_ids[index])
-        if fid >= 0:
-            return self.namespace.files[fid].path
-        return f"/lost/req{-fid:07d}.dat"
+        return self.namespace.path_of(int(self.file_ids[index]))
+
+    def iter_batches(self, chunk_size: int = 65_536) -> Iterator["EventBatch"]:
+        """Yield the trace as columnar :class:`EventBatch` chunks.
+
+        This is the engine-facing view: zero-copy slices of the trace's
+        arrays, carrying every column (including users and latencies) so
+        downstream layers never need per-record objects.
+        """
+        from repro.engine.batch import EventBatch
+
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        for start in range(0, self.n_events, chunk_size):
+            stop = start + chunk_size
+            yield EventBatch(
+                file_id=self.file_ids[start:stop],
+                size=self.sizes[start:stop],
+                time=self.times[start:stop],
+                is_write=self.is_write[start:stop],
+                device=self.device_idx[start:stop],
+                error=self.errors[start:stop],
+                user=self.users[start:stop],
+                latency=self.latencies[start:stop],
+                transfer=self.transfers[start:stop],
+            )
 
     def iter_records(self) -> Iterator[TraceRecord]:
-        """Yield the trace as :class:`TraceRecord` objects, in time order."""
-        for i in range(self.n_events):
-            device = self.device_of(i)
-            maker = make_write if self.is_write[i] else make_read
-            yield maker(
-                device=device,
-                start_time=float(self.times[i]),
-                file_size=int(self.sizes[i]),
-                mss_path=self.path_of(i),
-                user_id=int(self.users[i]),
-                startup_latency=float(self.latencies[i]),
-                transfer_time=float(self.transfers[i]),
-                error=ErrorKind(int(self.errors[i])),
-            )
+        """Yield the trace as :class:`TraceRecord` objects, in time order.
+
+        Lazy record views over the columnar batches -- the engine's
+        adapter owns the row-materialization logic.
+        """
+        from repro.engine.records import records_from_batches
+
+        return records_from_batches(self.iter_batches(), self.namespace)
 
     def records(self) -> List[TraceRecord]:
         """Materialize the full record list (use iter_records at scale)."""
@@ -195,6 +211,17 @@ def generate_trace(config: Optional[WorkloadConfig] = None) -> SyntheticTrace:
         transfers=transfers,
         lifecycles=lifecycles,
     )
+
+
+def generate_batches(
+    config: Optional[WorkloadConfig] = None, chunk_size: int = 65_536
+) -> Iterator["EventBatch"]:
+    """Generate a trace and stream it as :class:`EventBatch` chunks.
+
+    The batch producer the engine pipeline plugs into directly: no record
+    objects are ever built, and consumers see the stream chunk by chunk.
+    """
+    yield from generate_trace(config).iter_batches(chunk_size=chunk_size)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Test package (keeps test module names unique across directories)."""

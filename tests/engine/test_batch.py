@@ -1,0 +1,111 @@
+"""EventBatch structural tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch, device_at, device_index, rechunk
+from repro.trace.record import Device
+
+
+def _batch(n=6, **overrides):
+    columns = dict(
+        file_id=list(range(n)),
+        size=[10 * (i + 1) for i in range(n)],
+        time=[float(i) for i in range(n)],
+        is_write=[i % 2 == 0 for i in range(n)],
+        device=[0] * n,
+        error=[0] * n,
+    )
+    columns.update(overrides)
+    return EventBatch.from_columns(**columns)
+
+
+def test_from_columns_dtypes():
+    batch = _batch()
+    assert batch.file_id.dtype == np.int64
+    assert batch.size.dtype == np.int64
+    assert batch.time.dtype == np.float64
+    assert batch.is_write.dtype == bool
+    assert batch.device.dtype == np.int8
+    assert batch.error.dtype == np.int8
+    assert len(batch) == batch.n_events == 6
+
+
+def test_column_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        EventBatch.from_columns([1, 2], [10], [0.0, 1.0], [False, True])
+
+
+def test_unknown_optional_column_rejected():
+    with pytest.raises(TypeError):
+        EventBatch.from_columns([1], [1], [0.0], [False], bogus=[1])
+
+
+def test_select_and_good():
+    batch = _batch(error=[0, 1, 0, 2, 0, 0])
+    good = batch.good()
+    assert len(good) == 4
+    assert np.all(good.error == 0)
+    odd = batch.select(batch.file_id % 2 == 1)
+    assert odd.file_id.tolist() == [1, 3, 5]
+
+
+def test_concat_and_chunks_roundtrip():
+    batch = _batch(12)
+    chunks = list(batch.chunks(5))
+    assert [len(c) for c in chunks] == [5, 5, 2]
+    rebuilt = EventBatch.concat(chunks)
+    assert rebuilt.file_id.tolist() == batch.file_id.tolist()
+    assert rebuilt.time.tolist() == batch.time.tolist()
+
+
+def test_concat_drops_missing_optional_columns():
+    with_user = _batch(3)
+    with_user = EventBatch.from_columns(
+        [0, 1, 2], [1, 1, 1], [0.0, 1.0, 2.0], [False] * 3, user=[5, 6, 7]
+    )
+    without_user = _batch(2)
+    merged = EventBatch.concat([with_user, without_user])
+    assert merged.user is None
+    assert len(merged) == 5
+
+
+def test_empty_batch():
+    empty = EventBatch.empty()
+    assert len(empty) == 0
+    assert len(EventBatch.concat([])) == 0
+    empty.validate()
+
+
+def test_validate_rejects_unsorted_times():
+    batch = _batch(time=[0.0, 2.0, 1.0, 3.0, 4.0, 5.0])
+    with pytest.raises(ValueError):
+        batch.validate()
+
+
+def test_validate_rejects_negative_id_on_success():
+    batch = _batch(file_id=[-1, 1, 2, 3, 4, 5])
+    with pytest.raises(ValueError):
+        batch.validate()
+
+
+def test_rechunk_stream():
+    batches = [_batch(7), _batch(3)]
+    sizes = [len(b) for b in rechunk(batches, 4)]
+    assert sizes == [4, 3, 3]
+
+
+def test_device_index_roundtrip():
+    for device in Device.storage_devices():
+        assert device_at(device_index(device)) is device
+
+
+def test_trace_batches_cover_trace(tiny_trace):
+    batches = list(tiny_trace.iter_batches(chunk_size=1000))
+    assert sum(len(b) for b in batches) == tiny_trace.n_events
+    for batch in batches:
+        batch.validate()
+    merged = EventBatch.concat(batches)
+    assert np.array_equal(merged.file_id, tiny_trace.file_ids)
+    assert np.array_equal(merged.time, tiny_trace.times)
+    assert merged.user is not None and merged.latency is not None

@@ -1,0 +1,85 @@
+"""Sweep runner tests (kept tiny: short traces, small grids)."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.sweep import (
+    SweepConfig,
+    log_spaced_fractions,
+    run_sweep,
+)
+
+TINY = dict(scale=0.002, duration_days=90.0)
+
+
+def test_log_spaced_fractions():
+    assert log_spaced_fractions(1) == pytest.approx((0.02,), rel=0.01)
+    points = log_spaced_fractions(3, low=0.01, high=0.04)
+    assert points == pytest.approx((0.01, 0.02, 0.04))
+    with pytest.raises(ValueError):
+        log_spaced_fractions(0)
+
+
+def test_sweep_config_validation():
+    with pytest.raises(ValueError):
+        SweepConfig(policies=(), capacity_fractions=(0.01,))
+    with pytest.raises(ValueError):
+        SweepConfig(policies=("lru",), capacity_fractions=())
+    with pytest.raises(ValueError):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,), workers=0)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    config = SweepConfig(
+        policies=("stp", "lru"),
+        capacity_fractions=(0.01, 0.04),
+        seeds=(0, 1),
+        workers=1,
+        **TINY,
+    )
+    return run_sweep(config)
+
+
+def test_sweep_covers_grid(serial_result):
+    result = serial_result
+    assert len(result.rows) == result.config.n_cells == 8
+    seen = {(r.seed, r.policy, r.capacity_fraction) for r in result.rows}
+    assert len(seen) == 8
+    for row in result.rows:
+        assert row.capacity_bytes >= 1
+        assert row.metrics.reads > 0
+
+
+def test_sweep_render_and_aggregate(serial_result):
+    merged = serial_result.aggregated()
+    assert set(merged) == {
+        (policy, fraction)
+        for policy in ("stp", "lru")
+        for fraction in (0.01, 0.04)
+    }
+    text = serial_result.render()
+    assert "Section 6 sweep" in text
+    assert "stp" in text and "lru" in text
+
+
+def test_sweep_capacity_monotone(serial_result):
+    merged = serial_result.aggregated()
+    for policy in ("stp", "lru"):
+        assert (
+            merged[(policy, 0.01)].read_miss_ratio
+            >= merged[(policy, 0.04)].read_miss_ratio - 1e-9
+        )
+
+
+def test_parallel_workers_match_serial(serial_result):
+    config = dataclasses.replace(serial_result.config, workers=2)
+    parallel = run_sweep(config)
+    key = lambda r: (r.seed, r.policy, r.capacity_fraction)
+    serial_rows = sorted(serial_result.rows, key=key)
+    parallel_rows = sorted(parallel.rows, key=key)
+    for a, b in zip(serial_rows, parallel_rows):
+        assert key(a) == key(b)
+        assert a.capacity_bytes == b.capacity_bytes
+        assert dataclasses.asdict(a.metrics) == dataclasses.asdict(b.metrics)

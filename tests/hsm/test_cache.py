@@ -95,10 +95,14 @@ def test_watermark_eviction_to_low():
     assert cache.metrics.evictions >= 3
 
 
-def test_file_larger_than_cache_rejected():
+def test_file_larger_than_cache_bypasses():
+    # Oversized files move Cray<->tape directly instead of erroring out
+    # (they can never be staged, but the reference itself is legal).
     cache = _cache(capacity=100)
-    with pytest.raises(ValueError):
-        cache.access(1, 500, 0.0, is_write=False)
+    outcome = cache.access(1, 500, 0.0, is_write=False)
+    assert not outcome.hit
+    assert not cache.is_resident(1)
+    assert cache.metrics.bypassed_reads == 1
     with pytest.raises(ValueError):
         cache.access(1, 0, 0.0, is_write=False)
 
