@@ -3,12 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Tuple
 
+import numpy as np
+
+from repro.analysis import accumulators
 from repro.analysis.compare import Comparison
 from repro.analysis.render import TextTable
 from repro.core import paper
 from repro.namespace.model import Namespace
 from repro.util.units import bytes_to_mb
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 @dataclass
@@ -70,3 +77,25 @@ def filestore_statistics(namespace: Namespace, scale: float = 1.0) -> FilestoreS
     if not 0 < scale <= 1:
         raise ValueError("scale must be in (0, 1]")
     return FilestoreStatistics(namespace=namespace, scale=scale)
+
+
+def referenced_share(
+    batches: Iterable["EventBatch"], namespace: Namespace
+) -> Tuple[int, float]:
+    """(referenced file count, referenced byte fraction) of the store.
+
+    Table 4 describes "the referenced file store"; this vectorized pass
+    over the batch stream reports how much of the generated namespace
+    the trace actually touched.
+    """
+    ids = accumulators.referenced_file_ids(batches)
+    if namespace.file_count == 0:
+        return 0, 0.0
+    sizes = np.fromiter(
+        (f.size for f in namespace.files),
+        dtype=np.int64,
+        count=namespace.file_count,
+    )
+    total = int(sizes.sum())
+    touched = int(sizes[ids].sum()) if ids.size else 0
+    return int(ids.size), (touched / total if total else 0.0)

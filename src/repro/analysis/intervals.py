@@ -9,14 +9,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
 
 import numpy as np
 
+from repro.analysis import accumulators
 from repro.analysis.render import render_cdf
 from repro.trace.record import TraceRecord
 from repro.util.stats import CDF
 from repro.util.units import DAY
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 @dataclass
@@ -79,3 +83,27 @@ def file_interreference(records: Iterable[TraceRecord]) -> IntervalAnalysis:
 def fraction_of_file_gaps_under_one_day(records: Iterable[TraceRecord]) -> float:
     """The Figure 9 headline number."""
     return file_interreference(records).fraction_below(DAY)
+
+
+# ---------------------------------------------------------------------------
+# Columnar entry points (the figure/table path)
+
+
+def system_interarrivals_from_batches(
+    batches: Iterable["EventBatch"],
+) -> IntervalAnalysis:
+    """Figure 7 from a batch stream (vectorized diff, no record objects)."""
+    return IntervalAnalysis(
+        intervals=accumulators.system_interarrival_gaps(batches)
+    )
+
+
+def file_interreference_from_batches(
+    batches: Iterable["EventBatch"],
+) -> IntervalAnalysis:
+    """Figure 9 from an (already deduped) batch stream.
+
+    One stable sort groups the stream by file; the record path's
+    per-path dict walk is reproduced gap for gap.
+    """
+    return IntervalAnalysis(intervals=accumulators.per_file_gaps(batches))

@@ -11,16 +11,20 @@ internal ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
 
 import numpy as np
 
+from repro.analysis import accumulators
 from repro.analysis.compare import Comparison
 from repro.analysis.render import render_cdf
 from repro.core import paper
 from repro.mss.metrics import MetricsCollector
 from repro.trace.record import Device, TraceRecord
 from repro.util.stats import CDF
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 @dataclass
@@ -118,6 +122,15 @@ def latency_distributions(records: Iterable[TraceRecord]) -> LatencyDistribution
             raise ValueError(f"no successful references to {device}")
         samples[device] = np.asarray(values)
     return LatencyDistributions(samples=samples)
+
+
+def latency_distributions_from_batches(
+    batches: Iterable["EventBatch"],
+) -> LatencyDistributions:
+    """Figure 3 samples from a batch stream carrying latency columns."""
+    return LatencyDistributions(
+        samples=accumulators.latency_samples_by_device(batches)
+    )
 
 
 def from_metrics(metrics: MetricsCollector) -> LatencyDistributions:

@@ -11,14 +11,18 @@ We bin the byte-rate series hourly, take its spectrum, and check that the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import accumulators
 from repro.analysis.compare import Comparison
 from repro.trace.record import TraceRecord
 from repro.util.stats import autocorrelation, dominant_periods
 from repro.util.units import DAY, HOUR, WEEK
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 def rate_series(
@@ -78,6 +82,13 @@ def analyze_direction(
 ) -> PeriodicityReport:
     """Build a report for reads (False), writes (True) or both (None)."""
     series = rate_series(records, bin_seconds=bin_seconds, direction=direction)
+    return _report_from_series(series, direction, bin_seconds)
+
+
+def _report_from_series(
+    series: np.ndarray, direction: Optional[bool], bin_seconds: float
+) -> PeriodicityReport:
+    """Spectral/autocorrelation summary of one binned rate series."""
     bins_per_day = int(round(DAY / bin_seconds))
     bins_per_week = int(round(WEEK / bin_seconds))
     max_lag = min(len(series) - 1, bins_per_week)
@@ -94,6 +105,33 @@ def analyze_direction(
     )
 
 
+def rate_series_from_batches(
+    batches: Iterable["EventBatch"],
+    bin_seconds: float = HOUR,
+    direction: Optional[bool] = None,
+    span_seconds: Optional[float] = None,
+) -> np.ndarray:
+    """Bytes moved per bin, from a batch stream (vectorized binning)."""
+    return accumulators.binned_byte_series(
+        batches,
+        bin_seconds=bin_seconds,
+        direction=direction,
+        span_seconds=span_seconds,
+    )
+
+
+def analyze_direction_from_batches(
+    batches: Iterable["EventBatch"],
+    direction: Optional[bool],
+    bin_seconds: float = HOUR,
+) -> PeriodicityReport:
+    """:func:`analyze_direction` on a batch stream."""
+    series = rate_series_from_batches(
+        batches, bin_seconds=bin_seconds, direction=direction
+    )
+    return _report_from_series(series, direction, bin_seconds)
+
+
 def periodicity_comparison(records_factory) -> Comparison:
     """Paper-vs-measured periodicity claims.
 
@@ -102,6 +140,26 @@ def periodicity_comparison(records_factory) -> Comparison:
     """
     reads = analyze_direction(records_factory(), direction=False)
     writes = analyze_direction(records_factory(), direction=True)
+    return _periodicity_claims(reads, writes)
+
+
+def periodicity_comparison_from_batches(
+    batches_factory: Callable[[], Iterable["EventBatch"]],
+) -> Comparison:
+    """Paper-vs-measured periodicity claims from a batch stream.
+
+    ``batches_factory`` is a zero-argument callable returning a fresh
+    batch iterator (the series is scanned once per direction).
+    """
+    reads = analyze_direction_from_batches(batches_factory(), direction=False)
+    writes = analyze_direction_from_batches(batches_factory(), direction=True)
+    return _periodicity_claims(reads, writes)
+
+
+def _periodicity_claims(
+    reads: PeriodicityReport, writes: PeriodicityReport
+) -> Comparison:
+    """The abstract's three claims as comparison rows."""
     comp = Comparison("Abstract: request periodicity")
     comp.add(
         "reads: 24 h period present",

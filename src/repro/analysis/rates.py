@@ -8,14 +8,18 @@ reads-periodic contrast is the paper's core observation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import accumulators
 from repro.analysis.render import render_series
 from repro.trace.record import TraceRecord
 from repro.util.timeutil import DAY_NAMES, TraceCalendar
 from repro.util.units import DAY, HOUR, WEEK, bytes_to_gb
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 @dataclass
@@ -82,18 +86,35 @@ def _accumulate(
     return read_bytes, write_bytes, last - first
 
 
+def _hourly_labels_and_norm(span: float) -> Tuple[List[str], float]:
+    # Each hour-of-day bin collects one hour per traced day.
+    return [f"{h:02d}" for h in range(24)], max(span / DAY, 1.0)
+
+
+def _weekly_labels_and_norm(span: float) -> Tuple[List[str], float]:
+    return list(DAY_NAMES), max(span / WEEK, 1.0) * 24.0
+
+
+def _profile(
+    read_bytes: np.ndarray,
+    write_bytes: np.ndarray,
+    bin_labels: List[str],
+    hours_per_bin: float,
+) -> RateProfile:
+    """Byte sums to GB/hour, numpy end to end."""
+    return RateProfile(
+        bin_labels=bin_labels,
+        read_gb_per_hour=bytes_to_gb(read_bytes) / hours_per_bin,
+        write_gb_per_hour=bytes_to_gb(write_bytes) / hours_per_bin,
+    )
+
+
 def hourly_profile(records: Iterable[TraceRecord]) -> RateProfile:
     """Figure 4: average GB/hour by hour of day (0 = midnight)."""
     read_bytes, write_bytes, span = _accumulate(
         records, lambda t: int((t % DAY) // HOUR), 24
     )
-    # Each hour-of-day bin collects one hour per traced day.
-    hours_per_bin = max(span / DAY, 1.0)
-    return RateProfile(
-        bin_labels=[f"{h:02d}" for h in range(24)],
-        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_bin,
-        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_bin,
-    )
+    return _profile(read_bytes, write_bytes, *_hourly_labels_and_norm(span))
 
 
 def weekly_profile(records: Iterable[TraceRecord]) -> RateProfile:
@@ -102,12 +123,7 @@ def weekly_profile(records: Iterable[TraceRecord]) -> RateProfile:
     read_bytes, write_bytes, span = _accumulate(
         records, calendar.day_of_week, 7
     )
-    hours_per_bin = max(span / WEEK, 1.0) * 24.0
-    return RateProfile(
-        bin_labels=list(DAY_NAMES),
-        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_bin,
-        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_bin,
-    )
+    return _profile(read_bytes, write_bytes, *_weekly_labels_and_norm(span))
 
 
 def secular_series(
@@ -120,10 +136,40 @@ def secular_series(
         n_weeks,
     )
     hours_per_week = WEEK / HOUR
-    return RateProfile(
-        bin_labels=[f"w{w}" for w in range(n_weeks)],
-        read_gb_per_hour=np.array([bytes_to_gb(b) for b in read_bytes]) / hours_per_week,
-        write_gb_per_hour=np.array([bytes_to_gb(b) for b in write_bytes]) / hours_per_week,
+    return _profile(
+        read_bytes, write_bytes, [f"w{w}" for w in range(n_weeks)], hours_per_week
+    )
+
+
+# ---------------------------------------------------------------------------
+# Columnar entry points (the figure/table path)
+
+
+def hourly_profile_from_batches(batches: Iterable["EventBatch"]) -> RateProfile:
+    """Figure 4 from a batch stream (one vectorized pass)."""
+    read_bytes, write_bytes, span = accumulators.binned_byte_sums(
+        batches, accumulators.hour_of_day_bins, 24
+    )
+    return _profile(read_bytes, write_bytes, *_hourly_labels_and_norm(span))
+
+
+def weekly_profile_from_batches(batches: Iterable["EventBatch"]) -> RateProfile:
+    """Figure 5 from a batch stream (one vectorized pass)."""
+    read_bytes, write_bytes, span = accumulators.binned_byte_sums(
+        batches, accumulators.day_of_week_bins, 7
+    )
+    return _profile(read_bytes, write_bytes, *_weekly_labels_and_norm(span))
+
+
+def secular_series_from_batches(
+    batches: Iterable["EventBatch"], n_weeks: int = 104
+) -> RateProfile:
+    """Figure 6 from a batch stream (one vectorized pass)."""
+    read_bytes, write_bytes, _ = accumulators.binned_byte_sums(
+        batches, lambda t: accumulators.week_of_trace_bins(t, n_weeks), n_weeks
+    )
+    return _profile(
+        read_bytes, write_bytes, [f"w{w}" for w in range(n_weeks)], WEEK / HOUR
     )
 
 

@@ -11,10 +11,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Iterable, List
 
 import numpy as np
 
+from repro.analysis import accumulators
 from repro.analysis.compare import Comparison
 from repro.analysis.render import render_cdf
 from repro.core import paper
@@ -22,6 +23,9 @@ from repro.namespace.model import Namespace
 from repro.trace.record import TraceRecord
 from repro.util.stats import CDF, top_fraction_share
 from repro.util.units import MB
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
 
 
 @dataclass
@@ -107,6 +111,16 @@ def dynamic_distribution(records: Iterable[TraceRecord]) -> DynamicSizeDistribut
         read_sizes=np.asarray(reads, dtype=float),
         write_sizes=np.asarray(writes, dtype=float),
     )
+
+
+def dynamic_distribution_from_batches(
+    batches: Iterable["EventBatch"],
+) -> DynamicSizeDistribution:
+    """Figure 10 from a batch stream (masked column concatenation)."""
+    read_sizes, write_sizes = accumulators.size_samples_by_direction(batches)
+    if read_sizes.size == 0 or write_sizes.size == 0:
+        raise ValueError("need both reads and writes")
+    return DynamicSizeDistribution(read_sizes=read_sizes, write_sizes=write_sizes)
 
 
 @dataclass

@@ -133,6 +133,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import time
+
     from repro.core.experiments import (
         experiment_ids,
         needs_dense_study,
@@ -142,11 +144,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     base = Study(StudyConfig(workload=_workload_config(args)))
     dense = Study(StudyConfig.dense(scale=min(args.scale * 2, 0.05), seed=args.seed))
+    profile = getattr(args, "profile", False)
+    stages = {}
+    if profile:
+        # Force each pipeline stage eagerly so the analyze loop below
+        # times only the (columnar) analysis passes.
+        start = time.perf_counter()
+        _ = base.trace
+        _ = dense.trace
+        stages["generate"] = time.perf_counter() - start
+        start = time.perf_counter()
+        _ = dense.mss_metrics
+        stages["replay"] = time.perf_counter() - start
+    start = time.perf_counter()
     for exp_id in experiment_ids():
         study = dense if needs_dense_study(exp_id) else base
         result = run_experiment(exp_id, study)
         print(result.render())
         print()
+    if profile:
+        stages["analyze"] = time.perf_counter() - start
+        total = sum(stages.values())
+        print("profile (wall time):")
+        for stage, seconds in stages.items():
+            print(f"  {stage:9s} {seconds:8.2f} s")
+        print(f"  {'total':9s} {total:8.2f} s")
     return 0
 
 
@@ -205,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="run every experiment")
     _add_scale_args(p)
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage wall time (generate / replay / analyze)",
+    )
     p.set_defaults(func=_cmd_report)
 
     return parser

@@ -4,6 +4,10 @@ Each runner regenerates one published artifact from a :class:`Study` and
 returns an :class:`ExperimentResult` carrying the rendered text and (when
 applicable) the paper-vs-measured comparison.  The benchmarks call these;
 ``python -m repro report`` runs them all.
+
+Every stream-consuming runner reduces the study's columnar batch
+streams (``study.iter_batches(...)``) with the vectorized
+``*_from_batches`` analyses; no runner materializes a record list.
 """
 
 from __future__ import annotations
@@ -15,25 +19,27 @@ from repro.analysis import (
     Comparison,
     decomposition_comparison,
     directory_distribution,
-    dynamic_distribution,
-    file_interreference,
+    dynamic_distribution_from_batches,
+    file_interreference_from_batches,
     filestore_statistics,
     from_metrics,
-    hourly_profile,
+    hourly_profile_from_batches,
     media_comparison_table,
-    overall_statistics,
-    periodicity_comparison,
+    overall_statistics_from_batches,
+    periodicity_comparison_from_batches,
     pyramid_is_consistent,
     pyramid_table,
     read_growth_factor,
-    reference_counts,
-    secular_series,
+    reference_counts_from_batches,
+    referenced_share,
+    secular_series_from_batches,
     static_distribution,
     storage_pyramid,
-    system_interarrivals,
+    system_interarrivals_from_batches,
     trace_format_table,
+    verbose_log_sample,
     weekend_read_dip,
-    weekly_profile,
+    weekly_profile_from_batches,
     working_hours_lift,
     write_flatness,
 )
@@ -121,39 +127,16 @@ def _table1(study: Study) -> ExperimentResult:
 
 @experiment("T2", "Table 2: trace record format and compaction")
 def _table2(study: Study) -> ExperimentResult:
-    import io
+    from itertools import islice
 
     from repro.trace.writer import dump_trace_string
 
-    records = study.records()[:20000]
+    # Table 2 is *about* the per-record format, so this is the one
+    # experiment that renders record views -- a bounded head of the lazy
+    # adapter, never the materialized trace.
+    records = list(islice(study.iter_records(), 20000))
     compact = dump_trace_string(records)
-    # A verbose "system log" rendering approximating the original logs:
-    # fields are labelled, dates human-readable, and -- as Section 4.1
-    # notes -- "there are several records in the system log which
-    # correspond to the same I/O" (request + completion below).
-    from repro.util.timeutil import TraceCalendar
-
-    calendar = TraceCalendar()
-    verbose = io.StringIO()
-    for seq, record in enumerate(records):
-        date = calendar.datetime_at(record.start_time).strftime(
-            "%a %b %d %H:%M:%S 1991"
-        )
-        verbose.write(
-            f"MSCP REQUEST SEQ={seq:08d} DATE='{date}' "
-            f"SRC={record.source.value} DST={record.destination.value} "
-            f"FLAGS={record.flags.encode()} SIZE={record.file_size} "
-            f"MSS={record.mss_path} LOCAL={record.local_path} "
-            f"USER=user{record.user_id:04d} PROJECT=proj{record.user_id % 97:02d}\n"
-        )
-        verbose.write(
-            f"MOVER COMPLETE SEQ={seq:08d} DATE='{date}' "
-            f"STATUS={'ERROR' if record.is_error else 'OK'} "
-            f"LATENCY={record.startup_latency:.0f}s "
-            f"XFER={record.transfer_time * 1000:.0f}ms "
-            f"MSS={record.mss_path} USER=user{record.user_id:04d}\n"
-        )
-    ratio = len(verbose.getvalue()) / max(len(compact), 1)
+    ratio = len(verbose_log_sample(records)) / max(len(compact), 1)
     comp = Comparison("Table 2 (format compaction)")
     comp.add(
         "log-to-trace compression ratio",
@@ -168,7 +151,7 @@ def _table2(study: Study) -> ExperimentResult:
 
 @experiment("T3", "Table 3: overall trace statistics")
 def _table3(study: Study) -> ExperimentResult:
-    analysis = overall_statistics(study.iter_records())
+    analysis = overall_statistics_from_batches(study.iter_batches("raw"))
     return ExperimentResult(
         "T3", "overall trace statistics", analysis.render(), analysis.comparison()
     )
@@ -179,8 +162,15 @@ def _table4(study: Study) -> ExperimentResult:
     analysis = filestore_statistics(
         study.trace.namespace, scale=study.config.workload.scale
     )
+    n_referenced, byte_share = referenced_share(
+        study.iter_batches("good"), study.trace.namespace
+    )
+    text = analysis.render() + (
+        f"\ntrace touched {n_referenced} of {study.trace.namespace.file_count} "
+        f"files ({byte_share:.1%} of stored bytes)"
+    )
     return ExperimentResult(
-        "T4", "file store statistics", analysis.render(), analysis.comparison()
+        "T4", "file store statistics", text, analysis.comparison()
     )
 
 
@@ -226,7 +216,7 @@ def _fig3(study: Study) -> ExperimentResult:
 
 @experiment("F4", "Figure 4: transfer rate by hour of day")
 def _fig4(study: Study) -> ExperimentResult:
-    profile = hourly_profile(study.good_records())
+    profile = hourly_profile_from_batches(study.iter_batches("good"))
     comp = Comparison("Figure 4 (daily rhythm)")
     comp.add(
         "reads: working-hours lift over small hours",
@@ -243,7 +233,7 @@ def _fig4(study: Study) -> ExperimentResult:
 
 @experiment("F5", "Figure 5: transfer rate by day of week")
 def _fig5(study: Study) -> ExperimentResult:
-    profile = weekly_profile(study.good_records())
+    profile = weekly_profile_from_batches(study.iter_batches("good"))
     comp = Comparison("Figure 5 (weekly rhythm)")
     comp.add("weekend read dip (weekend/weekday)", 0.5, weekend_read_dip(profile))
     comp.add("writes: coefficient of variation", 0.07, write_flatness(profile),
@@ -257,7 +247,7 @@ def _fig5(study: Study) -> ExperimentResult:
 def _fig6(study: Study) -> ExperimentResult:
     from repro.analysis import holiday_read_dip
 
-    profile = secular_series(study.good_records())
+    profile = secular_series_from_batches(study.iter_batches("good"))
     calendar = TraceCalendar()
     comp = Comparison("Figure 6 (secular trend)")
     comp.add("read growth (last/first quarter)", 2.5, read_growth_factor(profile))
@@ -277,7 +267,7 @@ def _fig6(study: Study) -> ExperimentResult:
 
 @experiment("F7", "Figure 7: system interarrival intervals", needs_dense=True)
 def _fig7(study: Study) -> ExperimentResult:
-    analysis = system_interarrivals(study.records())
+    analysis = system_interarrivals_from_batches(study.iter_batches("raw"))
     comp = Comparison("Figure 7 (interarrivals)")
     comp.add(
         "fraction under 10 s",
@@ -301,7 +291,7 @@ def _fig7(study: Study) -> ExperimentResult:
 
 @experiment("F8", "Figure 8: per-file reference counts")
 def _fig8(study: Study) -> ExperimentResult:
-    counts = reference_counts(study.deduped_records())
+    counts = reference_counts_from_batches(study.iter_batches("deduped"))
     return ExperimentResult(
         "F8", "reference counts", counts.render(), counts.comparison()
     )
@@ -309,7 +299,7 @@ def _fig8(study: Study) -> ExperimentResult:
 
 @experiment("F9", "Figure 9: per-file interreference intervals")
 def _fig9(study: Study) -> ExperimentResult:
-    analysis = file_interreference(study.deduped_records())
+    analysis = file_interreference_from_batches(study.iter_batches("deduped"))
     comp = Comparison("Figure 9 (file interreference)")
     comp.add(
         "gaps under 1 day",
@@ -329,7 +319,7 @@ def _fig9(study: Study) -> ExperimentResult:
 
 @experiment("F10", "Figure 10: dynamic size distribution")
 def _fig10(study: Study) -> ExperimentResult:
-    dist = dynamic_distribution(study.good_records())
+    dist = dynamic_distribution_from_batches(study.iter_batches("good"))
     comp = Comparison("Figure 10 (dynamic sizes)")
     comp.add(
         "requests <= 1 MB",
@@ -359,7 +349,9 @@ def _fig12(study: Study) -> ExperimentResult:
 
 @experiment("ABSTRACT", "Periodicity: one-day and one-week periods")
 def _abstract(study: Study) -> ExperimentResult:
-    comp = periodicity_comparison(study.good_records)
+    comp = periodicity_comparison_from_batches(
+        lambda: study.iter_batches("good")
+    )
     return ExperimentResult("ABSTRACT", "request periodicity", "", comp)
 
 

@@ -3,25 +3,39 @@
 A :class:`Study` owns one synthetic trace (and, lazily, a DES replay of
 it) and hands the analyses what they need.  It is the object the CLI,
 examples and benchmarks all drive.
+
+The study's native artifact is the columnar batch stream:
+:meth:`Study.iter_batches` yields :class:`~repro.engine.batch.EventBatch`
+chunks -- raw, error-stripped, or deduped -- and every figure/table
+experiment reduces those streams directly.  The record views
+(:meth:`records`, :meth:`iter_records`, :meth:`good_records`,
+:meth:`deduped_records`) remain as thin compatibility wrappers over the
+same streams for external callers; no analysis path materializes a
+``List[TraceRecord]`` anymore.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.analysis import (
     Comparison,
     filestore_statistics,
-    overall_statistics,
+    overall_statistics_from_batches,
 )
 from repro.mss.metrics import MetricsCollector
 from repro.mss.system import MSSConfig, MSSSystem
-from repro.trace.filters import dedupe_for_file_analysis, strip_errors
 from repro.trace.record import TraceRecord
 from repro.util.units import DAY
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTrace, generate_trace
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
+
+#: Stream views :meth:`Study.iter_batches` can produce.
+BATCH_KINDS = ("raw", "good", "deduped")
 
 
 @dataclass
@@ -55,7 +69,7 @@ class Study:
         self.config = config or StudyConfig()
         self._trace: Optional[SyntheticTrace] = None
         self._records: Optional[List[TraceRecord]] = None
-        self._metrics: Optional[MetricsCollector] = None
+        self._replayed: Optional[Tuple[List["EventBatch"], MetricsCollector]] = None
         self._batches: dict = {}
 
     # ------------------------------------------------------------------
@@ -68,33 +82,53 @@ class Study:
             self._trace = generate_trace(self.config.workload)
         return self._trace
 
-    def records(self) -> List[TraceRecord]:
-        """Trace records, DES-replayed if the config asks for it."""
-        if self._records is None:
-            base = self.trace.records()
-            if self.config.simulate_latencies:
-                system = MSSSystem(self.config.mss)
-                self._records, self._metrics = system.replay(base)
-            else:
-                self._records = base
-        return self._records
+    def _replayed_batches(self) -> List["EventBatch"]:
+        """DES-replayed batch stream (simulated latencies), cached."""
+        if self._replayed is None:
+            system = MSSSystem(self.config.mss)
+            self._replayed = system.replay_columns(
+                self.trace.iter_batches(), self.trace.namespace
+            )
+        return self._replayed[0]
 
-    def iter_records(self) -> Iterator[TraceRecord]:
-        """Iterate the (possibly replayed) records."""
-        return iter(self.records())
+    def iter_batches(self, kind: str = "raw") -> Iterator["EventBatch"]:
+        """The trace as a columnar batch stream -- the analysis path.
+
+        ``kind`` selects the stream view the paper's filters produce:
+        ``"raw"`` (errors included), ``"good"`` (Section 5.1 error
+        strip), or ``"deduped"`` (error strip plus the Section 5.3
+        eight-hour dedupe), all applied per batch with the engine's
+        vectorized transforms.  When the study simulates latencies, the
+        raw stream carries DES-simulated latency/transfer columns
+        (replayed once, cached).
+        """
+        from repro.engine.stream import dedupe_blocks, strip_errors
+
+        if kind not in BATCH_KINDS:
+            raise ValueError(f"unknown batch kind {kind!r}; choose from {BATCH_KINDS}")
+        if self.config.simulate_latencies:
+            base: Iterator["EventBatch"] = iter(self._replayed_batches())
+        else:
+            base = self.trace.iter_batches()
+        if kind == "raw":
+            return base
+        good = strip_errors(base)
+        if kind == "good":
+            return good
+        return dedupe_blocks(good)
 
     @property
     def mss_metrics(self) -> MetricsCollector:
-        """DES metrics; triggers the replay if it has not run."""
-        if self._metrics is None:
+        """DES metrics; triggers the columnar replay if it has not run."""
+        if self._replayed is None:
             if not self.config.simulate_latencies:
                 raise ValueError(
                     "study was configured without DES latencies; use "
                     "StudyConfig(simulate_latencies=True)"
                 )
-            self.records()
-        assert self._metrics is not None
-        return self._metrics
+            self._replayed_batches()
+        assert self._replayed is not None
+        return self._replayed[1]
 
     def event_batches(self, deduped: bool = True) -> List["EventBatch"]:
         """The trace's HSM reference stream as prepared engine batches.
@@ -108,20 +142,45 @@ class Study:
             self._batches[deduped] = prepare_stream(self.trace, deduped=deduped)
         return self._batches[deduped]
 
+    # ------------------------------------------------------------------
+    # Record views (compatibility wrappers over the batch streams)
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Lazy record view of the (possibly replayed) raw stream."""
+        from repro.engine.records import records_from_batches
+
+        if self._records is not None:
+            return iter(self._records)
+        return records_from_batches(self.iter_batches("raw"), self.trace.namespace)
+
+    def records(self) -> List[TraceRecord]:
+        """Materialized records, DES-replayed if the config asks for it.
+
+        Compatibility API: analyses consume :meth:`iter_batches`; this
+        exists for external callers that want per-record objects.
+        """
+        if self._records is None:
+            self._records = list(self.iter_records())
+        return self._records
+
     def good_records(self) -> Iterator[TraceRecord]:
-        """Successful references only."""
+        """Successful references only (record view of ``"good"``)."""
+        from repro.trace.filters import strip_errors
+
         return strip_errors(self.iter_records())
 
     def deduped_records(self) -> Iterator[TraceRecord]:
-        """The Section 5.3 stream: errors stripped, 8-hour dedupe."""
+        """The Section 5.3 stream (record view of ``"deduped"``)."""
+        from repro.trace.filters import dedupe_for_file_analysis
+
         return dedupe_for_file_analysis(self.good_records())
 
     # ------------------------------------------------------------------
     # Canned analyses
 
     def table3(self) -> Comparison:
-        """Table 3 paper-vs-measured."""
-        analysis = overall_statistics(self.iter_records())
+        """Table 3 paper-vs-measured (columnar one-pass accumulation)."""
+        analysis = overall_statistics_from_batches(self.iter_batches("raw"))
         return analysis.comparison(include_latency=self.config.simulate_latencies
                                    or self.config.workload.fill_latencies)
 

@@ -75,8 +75,9 @@ class BlockDeduper:
         # for two candidate blocks of one key, the later is strictly larger
         # (time order), so it survives whichever way the earlier one went.
         kept = cand_block > self._last_block[cand_key]
-        # Duplicate keys assign in position order, so the max block wins.
-        self._last_block[cand_key[kept]] = cand_block[kept]
+        # Unbuffered maximum.at keeps the max block per key regardless of
+        # duplicate-index ordering (fancy assignment leaves it unspecified).
+        np.maximum.at(self._last_block, cand_key[kept], cand_block[kept])
         keep = np.zeros(n, dtype=bool)
         keep[first_idx[kept]] = True
         return batch.select(keep)

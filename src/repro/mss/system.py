@@ -154,6 +154,73 @@ class MSSSystem:
 
         return self.replay(records_from_batches(batches, namespace))
 
+    def replay_columns(
+        self, batches: Iterable["EventBatch"], namespace: "Namespace"
+    ) -> Tuple[List["EventBatch"], MetricsCollector]:
+        """Replay a batch stream and return it *as batches*.
+
+        The columnar twin of :meth:`replay`: requests are submitted
+        straight from the columns (no ``TraceRecord`` is ever built) and
+        the simulated startup latencies and transfer times come back as
+        fresh ``latency`` / ``transfer`` columns.  Failed references pass
+        through with their original timings, as in :meth:`replay`.
+        Submission order, parameters and seeds match :meth:`replay`
+        exactly, so latencies and metrics are bit-identical.
+        """
+        from repro.engine.batch import DEVICE_ORDER, EventBatch
+
+        batches = list(batches)
+        pending: List[Tuple[int, int, MSSRequest]] = []
+        path_of = namespace.path_of
+        for batch_no, batch in enumerate(batches):
+            rows = zip(
+                batch.file_id.tolist(),
+                batch.size.tolist(),
+                batch.time.tolist(),
+                batch.is_write.tolist(),
+                batch.device.tolist(),
+                batch.error.tolist(),
+            )
+            for row_no, (fid, size, time, is_write, device, error) in enumerate(rows):
+                if error:
+                    continue
+                request = self.submit(
+                    path=path_of(fid),
+                    size=size,
+                    is_write=is_write,
+                    device=DEVICE_ORDER[device],
+                    when=time,
+                )
+                pending.append((batch_no, row_no, request))
+        self.run()
+        n_rows = [len(batch) for batch in batches]
+        latencies = [
+            batch.latency.copy() if batch.latency is not None else np.zeros(n)
+            for batch, n in zip(batches, n_rows)
+        ]
+        transfers = [
+            batch.transfer.copy() if batch.transfer is not None else np.zeros(n)
+            for batch, n in zip(batches, n_rows)
+        ]
+        for batch_no, row_no, request in pending:
+            latencies[batch_no][row_no] = request.startup_latency
+            transfers[batch_no][row_no] = request.transfer_time
+        out = [
+            EventBatch(
+                file_id=batch.file_id,
+                size=batch.size,
+                time=batch.time,
+                is_write=batch.is_write,
+                device=batch.device,
+                error=batch.error,
+                user=batch.user,
+                latency=latencies[batch_no],
+                transfer=transfers[batch_no],
+            )
+            for batch_no, batch in enumerate(batches)
+        ]
+        return out, self.metrics
+
 
 def replay_trace(
     records: Iterable[TraceRecord], config: Optional[MSSConfig] = None

@@ -95,6 +95,28 @@ class TraceStatistics:
             self.add(record)
         return self
 
+    @classmethod
+    def from_parts(
+        cls,
+        cells: Dict[Key, CellStats],
+        raw_references: int,
+        error_counts: Dict[ErrorKind, int],
+        first_start: Optional[float],
+        last_start: Optional[float],
+    ) -> "TraceStatistics":
+        """Assemble statistics from externally accumulated parts.
+
+        Used by the columnar analysis path, which reduces whole batches
+        into :class:`CellStats` with numpy instead of folding records.
+        """
+        stats = cls()
+        stats._cells = dict(cells)
+        stats.raw_references = raw_references
+        stats.error_counts = dict(error_counts)
+        stats.first_start = first_start
+        stats.last_start = last_start
+        return stats
+
     # ------------------------------------------------------------------
     # Cell access
 

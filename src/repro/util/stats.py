@@ -123,6 +123,25 @@ class StreamingMoments:
         """Population standard deviation."""
         return float(np.sqrt(self.variance))
 
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "StreamingMoments":
+        """Moments of a whole array in one numpy pass.
+
+        The columnar accumulators build per-batch moments this way and
+        fold them together with :meth:`merge`; the result matches
+        element-wise :meth:`add` calls up to float rounding.
+        """
+        moments = cls()
+        if values.size == 0:
+            return moments
+        moments.count = int(values.size)
+        moments.total = float(values.sum())
+        moments._mean = float(values.mean())
+        moments._m2 = float(values.var() * values.size)
+        moments.minimum = float(values.min())
+        moments.maximum = float(values.max())
+        return moments
+
     def merge(self, other: "StreamingMoments") -> "StreamingMoments":
         """Combine two accumulators (parallel Welford merge)."""
         if other.count == 0:

@@ -165,16 +165,13 @@ def generate_trace(config: Optional[WorkloadConfig] = None) -> SyntheticTrace:
         seeds.named("placement"),
     )
 
-    dir_ids = np.fromiter(
-        (namespace.files[int(f)].dir_id for f in file_idx),
-        dtype=np.int64,
-        count=file_idx.size,
-    )
+    file_dirs = _file_dir_array(namespace)
     times, session_ids = pack_sessions(
-        seeds.named("sessions"), times, config.sessions, group_keys=dir_ids
+        seeds.named("sessions"), times, config.sessions,
+        group_keys=file_dirs[file_idx],
     )
     users = _assign_users(
-        namespace, file_idx, event_is_write, session_ids,
+        file_dirs, file_idx, event_is_write, session_ids,
         config, seeds.named("users"),
     )
 
@@ -281,6 +278,15 @@ def _file_size_array(namespace: Namespace) -> np.ndarray:
     """File sizes as an int64 array indexed by file id."""
     return np.fromiter(
         (f.size for f in namespace.files), dtype=np.int64, count=namespace.file_count
+    )
+
+
+def _file_dir_array(namespace: Namespace) -> np.ndarray:
+    """Directory ids as an int64 array indexed by file id."""
+    return np.fromiter(
+        (f.dir_id for f in namespace.files),
+        dtype=np.int64,
+        count=namespace.file_count,
     )
 
 
@@ -526,7 +532,7 @@ def _assign_devices(
 
 
 def _assign_users(
-    namespace: Namespace,
+    file_dirs: np.ndarray,
     file_idx: np.ndarray,
     is_write: np.ndarray,
     session_ids: np.ndarray,
@@ -540,24 +546,21 @@ def _assign_users(
         return users
     unique_sessions, inverse = np.unique(session_ids, return_inverse=True)
     n_sessions = unique_sessions.size
-    # Decide each session's flavour from its first event.
-    first_event = np.full(n_sessions, -1, dtype=np.int64)
-    for i in range(file_idx.size - 1, -1, -1):
-        first_event[inverse[i]] = i
+    # Decide each session's flavour from its first event (the smallest
+    # event index per session; unbuffered ufunc.at has guaranteed
+    # semantics for duplicate indices, unlike fancy assignment).
+    first_event = np.full(n_sessions, file_idx.size, dtype=np.int64)
+    np.minimum.at(first_event, inverse, np.arange(file_idx.size, dtype=np.int64))
     session_is_write = is_write[first_event]
     writer_draws = population.sample_writers(rng, n_sessions)
     reader_draws = population.sample_readers(rng, n_sessions)
     owner_coin = rng.random(n_sessions) < OWNER_READ_PROBABILITY
-    session_users = np.empty(n_sessions, dtype=np.int32)
-    for s in range(n_sessions):
-        if session_is_write[s]:
-            session_users[s] = writer_draws[s]
-        elif owner_coin[s]:
-            fid = int(file_idx[first_event[s]])
-            dir_id = namespace.files[fid].dir_id
-            session_users[s] = population.owner_of_directory(dir_id)
-        else:
-            session_users[s] = reader_draws[s]
+    owners = population.owners_of_directories(file_dirs[file_idx[first_event]])
+    session_users = np.where(
+        session_is_write,
+        writer_draws,
+        np.where(owner_coin, owners, reader_draws),
+    ).astype(np.int32)
     users[:] = session_users[inverse]
     return users
 

@@ -73,3 +73,8 @@ class UserPopulation:
     def owner_of_directory(self, dir_id: int) -> int:
         """Deterministic owning user for a directory subtree."""
         return int(self.interactive_ids[dir_id % self.interactive_ids.size])
+
+    def owners_of_directories(self, dir_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of_directory` for an id array."""
+        idx = np.asarray(dir_ids, dtype=np.int64) % self.interactive_ids.size
+        return self.interactive_ids[idx].astype(np.int32)
