@@ -2,12 +2,17 @@
 
 Subcommands::
 
-    generate   synthesize a trace file
-    analyze    print Table 3 / Table 4 for a trace file
+    generate   synthesize a trace file and/or a columnar store
+    analyze    print Table 3 for a trace file, store dir, or cached workload
     replay     push a trace file through the MSS simulator
     policies   compare migration policies on a synthetic workload
     sweep      run the Section 6 ablation grid in parallel
     report     run the full experiment suite and print every comparison
+    trace      columnar trace-store utilities (info / import / verify)
+
+A ``--cache-dir`` (or ``--store``) points at the content-addressed
+columnar trace store (:mod:`repro.engine.store`): generate once, analyze
+many times off memory-mapped shards.
 """
 
 from __future__ import annotations
@@ -39,18 +44,62 @@ def _workload_config(args: argparse.Namespace):
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.workload.generator import generate_trace
 
-    trace = generate_trace(_workload_config(args))
-    count = trace.write(args.output)
-    print(f"wrote {count} records to {args.output}")
+    if args.output is None and args.store is None:
+        print("generate: need an output trace file and/or --store DIR",
+              file=sys.stderr)
+        return 2
+    config = _workload_config(args)
+    if args.output is not None:
+        trace = generate_trace(config)
+        count = trace.write(args.output)
+        print(f"wrote {count} records to {args.output}")
+    if args.store is not None:
+        from repro.engine.store import cache_trace, open_or_generate
+
+        if args.output is None:
+            # Pure store capture: a cache hit skips generation entirely.
+            store = open_or_generate(config, args.store)
+        else:
+            store = cache_trace(trace, args.store)
+        print(
+            f"stored {store.n_events} events in {store.n_shards} shards "
+            f"at {store.path}"
+        )
     return 0
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.analysis import overall_statistics
-    from repro.trace.reader import TraceReader
+def _is_store_dir(path: str) -> bool:
+    import os
 
-    with TraceReader(args.trace) as reader:
-        analysis = overall_statistics(reader)
+    return os.path.isdir(path) and os.path.isfile(os.path.join(path, "manifest.json"))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import overall_statistics_from_batches
+
+    if args.trace is None:
+        if args.cache_dir is None:
+            print("analyze: need a trace file, a store dir, or --cache-dir",
+                  file=sys.stderr)
+            return 2
+        # No trace artifact named: analyze the cached (or freshly
+        # generated-and-cached) store for the requested workload config.
+        from repro.engine.store import open_or_generate
+
+        store = open_or_generate(_workload_config(args), args.cache_dir)
+        analysis = overall_statistics_from_batches(store.iter_batches())
+    elif _is_store_dir(args.trace):
+        from repro.engine.store import TraceStore
+
+        analysis = overall_statistics_from_batches(
+            TraceStore.open(args.trace).iter_batches()
+        )
+    else:
+        from repro.analysis import overall_statistics
+        from repro.trace.reader import TraceReader
+
+        with TraceReader(args.trace) as reader:
+            analysis = overall_statistics(reader)
     print(analysis.render())
     print()
     print(analysis.comparison().render())
@@ -125,6 +174,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
         duration_days=args.days,
         workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     result = run_sweep(config)
     print(result.render())
@@ -142,14 +192,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     from repro.core.study import Study, StudyConfig
 
-    base = Study(StudyConfig(workload=_workload_config(args)))
+    cache_dir = getattr(args, "cache_dir", None)
+    base = Study(
+        StudyConfig(workload=_workload_config(args), cache_dir=cache_dir)
+    )
+    # The dense study streams from its DES replay (simulate_latencies),
+    # which needs the in-memory trace -- a cache_dir would be dead config.
     dense = Study(StudyConfig.dense(scale=min(args.scale * 2, 0.05), seed=args.seed))
     profile = getattr(args, "profile", False)
     stages = {}
     if profile:
         # Force each pipeline stage eagerly so the analyze loop below
-        # times only the (columnar) analysis passes.
+        # times only the (columnar) analysis passes.  The experiments
+        # touch the namespace, so the base trace is generated either
+        # way; forcing it here (plus the store, whose shards feed the
+        # batch streams when cached) keeps the generation cost out of
+        # the analyze timer.
         start = time.perf_counter()
+        if cache_dir is not None:
+            _ = base.trace_store()
         _ = base.trace
         _ = dense.trace
         stages["generate"] = time.perf_counter() - start
@@ -172,6 +233,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.engine.store import StoreError, TraceStore
+
+    try:
+        store = TraceStore.open(args.store)
+    except StoreError as exc:
+        print(f"trace info: {exc}", file=sys.stderr)
+        return 1
+    print(store.describe())
+    return 0
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    from repro.engine.store import StoreError, TraceStore
+
+    try:
+        store = TraceStore.open(args.store)
+        store.verify()
+    except StoreError as exc:
+        print(f"trace verify: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {store.n_shards} shards x {len(store.columns)} columns verified "
+        f"({store.n_events} events)"
+    )
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from repro.engine.store import StoreError
+    from repro.trace.errors import TraceError
+    from repro.trace.store import import_trace_file
+
+    try:
+        store = import_trace_file(args.trace, args.store, overwrite=args.overwrite)
+    except (StoreError, TraceError, OSError) as exc:
+        print(f"trace import: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"imported {store.n_events} events ({store.n_shards} shards) "
+        f"into {store.path}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -180,13 +286,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="synthesize a trace file")
+    p = sub.add_parser("generate", help="synthesize a trace file and/or store")
     _add_scale_args(p)
-    p.add_argument("output", help="trace file to write")
+    p.add_argument("output", nargs="?", default=None,
+                   help="ASCII trace file to write (optional with --store)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="also write the columnar store into this cache dir")
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("analyze", help="Table 3/4 for a trace file")
-    p.add_argument("trace", help="trace file to read")
+    p = sub.add_parser("analyze", help="Table 3 for a trace file or store")
+    _add_scale_args(p)
+    p.add_argument("trace", nargs="?", default=None,
+                   help="trace file or store directory (optional with --cache-dir)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed store cache; with no trace argument, "
+                   "analyze the cached store for the scale/seed/days workload")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("replay", help="simulate a trace on the MSS")
@@ -223,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of workload seeds, --seed..--seed+N-1 (default 1)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the replay grid (default 1)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist per-seed prepared-stream stores here "
+                   "(default: a per-run temporary directory)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")
@@ -232,7 +349,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage wall time (generate / replay / analyze)",
     )
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed store cache for the base study's "
+                   "batch streams")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("trace", help="columnar trace-store utilities")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = trace_sub.add_parser("info", help="print a store's manifest metadata")
+    t.add_argument("store", help="store directory (contains manifest.json)")
+    t.set_defaults(func=_cmd_trace_info)
+
+    t = trace_sub.add_parser("verify", help="recompute every shard checksum")
+    t.add_argument("store", help="store directory to verify")
+    t.set_defaults(func=_cmd_trace_verify)
+
+    t = trace_sub.add_parser(
+        "import", help="convert an ASCII trace file into a columnar store"
+    )
+    t.add_argument("trace", help="trace file to read")
+    t.add_argument("store", help="store directory to create")
+    t.add_argument("--overwrite", action="store_true",
+                   help="replace an existing store at the target")
+    t.set_defaults(func=_cmd_trace_import)
 
     return parser
 

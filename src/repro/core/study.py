@@ -46,6 +46,14 @@ class StudyConfig:
     mss: MSSConfig = field(default_factory=MSSConfig)
     #: Replace analytic latencies with DES-simulated ones.
     simulate_latencies: bool = False
+    #: Content-addressed trace-store cache directory.  When set, the raw
+    #: batch stream comes from (and on a miss is written to) an on-disk
+    #: columnar :class:`~repro.engine.store.TraceStore` keyed by the
+    #: workload config, so repeated batch-stream analyses skip
+    #: generation.  The store holds events, not the namespace: anything
+    #: touching :attr:`Study.trace` (Table 4, record views, prepared HSM
+    #: streams) still generates on first use.
+    cache_dir: Optional[str] = None
 
     @staticmethod
     def dense(scale: float = 0.02, seed: int = 42, days: float = 16.0) -> "StudyConfig":
@@ -71,6 +79,7 @@ class Study:
         self._records: Optional[List[TraceRecord]] = None
         self._replayed: Optional[Tuple[List["EventBatch"], MetricsCollector]] = None
         self._batches: dict = {}
+        self._store = None
 
     # ------------------------------------------------------------------
     # Lazily produced artifacts
@@ -81,6 +90,26 @@ class Study:
         if self._trace is None:
             self._trace = generate_trace(self.config.workload)
         return self._trace
+
+    def trace_store(self):
+        """The cached on-disk store of the raw stream (needs a cache dir).
+
+        On a hit the trace itself is never generated -- batches are
+        memory-mapped straight off the shards.  On a miss the study's own
+        trace is written through, so a cold ``report`` still generates
+        only once.
+        """
+        from repro.engine.store import cache_trace, open_cached
+
+        if self.config.cache_dir is None:
+            raise ValueError("study has no cache_dir configured")
+        if self._store is None:
+            self._store = open_cached(
+                self.config.workload, self.config.cache_dir, variant="trace"
+            )
+            if self._store is None:
+                self._store = cache_trace(self.trace, self.config.cache_dir)
+        return self._store
 
     def _replayed_batches(self) -> List["EventBatch"]:
         """DES-replayed batch stream (simulated latencies), cached."""
@@ -108,6 +137,8 @@ class Study:
             raise ValueError(f"unknown batch kind {kind!r}; choose from {BATCH_KINDS}")
         if self.config.simulate_latencies:
             base: Iterator["EventBatch"] = iter(self._replayed_batches())
+        elif self.config.cache_dir is not None:
+            base = self.trace_store().iter_batches()
         else:
             base = self.trace.iter_batches()
         if kind == "raw":

@@ -21,6 +21,13 @@ from repro.engine.replay import (
     prepare_stream,
     replay_policy,
 )
+from repro.engine.store import (
+    StoreError,
+    TraceStore,
+    config_hash,
+    open_or_generate,
+    store_dir_for,
+)
 from repro.engine.stream import (
     BlockDeduper,
     collect,
@@ -41,10 +48,13 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEVICE_ORDER",
     "EventBatch",
+    "StoreError",
     "SweepConfig",
     "SweepResult",
     "SweepRow",
+    "TraceStore",
     "build_policy",
+    "config_hash",
     "capacity_sweep_batches",
     "collect",
     "dedupe_blocks",
@@ -52,11 +62,13 @@ __all__ = [
     "device_index",
     "hsm_event_batches",
     "log_spaced_fractions",
+    "open_or_generate",
     "prepare_stream",
     "rechunk",
     "records_from_batch",
     "records_from_batches",
     "replay_policy",
     "run_sweep",
+    "store_dir_for",
     "strip_errors",
 ]

@@ -1,21 +1,27 @@
 """The parallel experiment runner: seeds x capacities x policies.
 
 One call fans the full Section 6 ablation grid out over worker processes.
-The parent synthesizes each seed's trace once and prepares its batch
-stream; workers inherit the prepared streams (fork) or receive them once
-at start-up (spawn) and then replay grid cells independently -- replay is
-the embarrassingly parallel part, so wall-clock scales with cores.
+The parent prepares each seed's replay stream once -- into an on-disk
+columnar :class:`~repro.engine.store.TraceStore` -- and ships workers
+only the store *paths*: each worker memory-maps the shared shards, so
+the initializer payload carries no arrays and N workers share one copy
+of every seed's stream through the page cache.  With a ``cache_dir``
+the stores are content-addressed and persist across sweeps; without one
+they live in a temporary directory for the run.  Replay is the
+embarrassingly parallel part, so wall-clock scales with cores.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import tempfile
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
-from repro.engine.replay import prepare_stream, replay_policy
+from repro.engine.replay import replay_policy
+from repro.engine.store import TraceStore, open_or_generate
 from repro.hsm.metrics import HSMMetrics
 from repro.util.units import DAY
 
@@ -36,6 +42,10 @@ class SweepConfig:
     writeback_delay: Optional[float] = 4 * 3600.0
     workers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Persistent content-addressed store cache; None uses a per-run
+    #: temporary directory (prepared streams still go through the store
+    #: so workers memmap instead of unpickling).
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.migration.registry import available_policies
@@ -158,18 +168,35 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 # Worker side
 
-#: seed -> (prepared batch stream, referenced-store bytes); populated in
-#: the parent and inherited (fork) or shipped via the initializer (spawn).
-_WORKER_STREAMS: Dict[int, Tuple[List[EventBatch], int]] = {}
+#: seed -> (store path, referenced-store bytes).  The initializer payload
+#: is strings and ints only -- never arrays: each worker memory-maps the
+#: shared shards on first use, so the OS page cache holds one copy of
+#: every seed's stream regardless of worker count.
+_WORKER_STORES: Dict[int, Tuple[str, int]] = {}
+
+#: Per-process memmapped batch lists, opened lazily per seed.
+_WORKER_BATCHES: Dict[int, List[EventBatch]] = {}
 
 
-def _init_worker(streams: Dict[int, Tuple[List[EventBatch], int]]) -> None:
-    global _WORKER_STREAMS
-    _WORKER_STREAMS = streams
+def _init_worker(stores: Dict[int, Tuple[str, int]]) -> None:
+    global _WORKER_STORES, _WORKER_BATCHES
+    _WORKER_STORES = stores
+    _WORKER_BATCHES = {}
+
+
+def _open_stream(seed: int) -> Tuple[List[EventBatch], int]:
+    """Memmapped batches (cached per process) for one seed's store."""
+    path, total_bytes = _WORKER_STORES[seed]
+    batches = _WORKER_BATCHES.get(seed)
+    if batches is None:
+        batches = TraceStore.open(path).batches()
+        _WORKER_BATCHES[seed] = batches
+    return batches, total_bytes
 
 
 def _run_cell(task: Tuple[int, str, float, Optional[float]]) -> SweepRow:
-    return _run_cell_with(_WORKER_STREAMS, task)
+    seed, _, _, _ = task
+    return _run_cell_with({seed: _open_stream(seed)}, task)
 
 
 def _run_cell_with(
@@ -195,57 +222,83 @@ def _run_cell_with(
 # Parent side
 
 
-def _prepare_streams(
-    config: SweepConfig,
-) -> Dict[int, Tuple[List[EventBatch], int]]:
+def _seed_config(config: SweepConfig, seed: int):
     from repro.workload.config import WorkloadConfig
-    from repro.workload.generator import generate_trace
 
-    streams: Dict[int, Tuple[List[EventBatch], int]] = {}
+    kwargs = {"scale": config.scale, "seed": seed, "fill_latencies": False}
+    if config.duration_days is not None:
+        kwargs["duration_seconds"] = config.duration_days * DAY
+    return WorkloadConfig(**kwargs)
+
+
+def _prepare_stores(config: SweepConfig, cache_dir: str) -> Dict[int, Tuple[str, int]]:
+    """Per-seed prepared-stream stores: seed -> (path, referenced bytes).
+
+    The returned payload is what the pool initializer ships to workers,
+    so it must stay plain strings and ints -- no ndarrays (the whole
+    point of the store is that workers memmap instead of unpickling).
+    """
+    stores: Dict[int, Tuple[str, int]] = {}
     for seed in config.seeds:
-        kwargs = {"scale": config.scale, "seed": seed, "fill_latencies": False}
-        if config.duration_days is not None:
-            kwargs["duration_seconds"] = config.duration_days * DAY
-        trace = generate_trace(WorkloadConfig(**kwargs))
-        streams[seed] = (
-            prepare_stream(trace, chunk_size=config.chunk_size),
-            trace.namespace.total_bytes,
+        store = open_or_generate(
+            _seed_config(config, seed),
+            cache_dir,
+            variant="hsm",
+            chunk_size=config.chunk_size,
         )
-    return streams
+        total = store.total_bytes
+        if total is None:
+            raise ValueError(f"store {store.path} lacks referenced-store bytes")
+        stores[seed] = (str(store.path), total)
+    return stores
 
 
 def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the full grid; parallel across cells when ``workers > 1``."""
     start = _time.perf_counter()
-    streams = _prepare_streams(config)
-    prepared = _time.perf_counter()
-
-    tasks = [
-        (seed, policy, fraction, config.writeback_delay)
-        for seed in config.seeds
-        for policy in config.policies
-        for fraction in config.capacity_fractions
-    ]
-    if config.workers == 1:
-        # Streams stay a local: parking them in the worker global would
-        # pin every seed's arrays in this process for its lifetime.
-        rows = [_run_cell_with(streams, task) for task in tasks]
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+    if config.cache_dir is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        cache_dir = tempdir.name
     else:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX hosts
-            ctx = multiprocessing.get_context("spawn")
-        workers = min(config.workers, len(tasks))
-        with ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(streams,)
-        ) as pool:
-            rows = pool.map(_run_cell, tasks, chunksize=1)
-    done = _time.perf_counter()
+        cache_dir = config.cache_dir
+    try:
+        stores = _prepare_stores(config, cache_dir)
+        prepared = _time.perf_counter()
 
-    return SweepResult(
-        config=config,
-        rows=rows,
-        prepare_seconds=prepared - start,
-        replay_seconds=done - prepared,
-        total_bytes={seed: total for seed, (_, total) in streams.items()},
-    )
+        tasks = [
+            (seed, policy, fraction, config.writeback_delay)
+            for seed in config.seeds
+            for policy in config.policies
+            for fraction in config.capacity_fractions
+        ]
+        if config.workers == 1:
+            # Open in-process; memmapped batches stay locals so nothing
+            # pins every seed's pages for the process lifetime.
+            opened = {
+                seed: (TraceStore.open(path).batches(), total)
+                for seed, (path, total) in stores.items()
+            }
+            rows = [_run_cell_with(opened, task) for task in tasks]
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                ctx = multiprocessing.get_context("spawn")
+            workers = min(config.workers, len(tasks))
+            with ctx.Pool(
+                processes=workers, initializer=_init_worker, initargs=(stores,)
+            ) as pool:
+                rows = pool.map(_run_cell, tasks, chunksize=1)
+        done = _time.perf_counter()
+
+        return SweepResult(
+            config=config,
+            rows=rows,
+            prepare_seconds=prepared - start,
+            replay_seconds=done - prepared,
+            total_bytes={seed: total for seed, (_, total) in stores.items()},
+        )
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -46,6 +46,12 @@ from repro.workload.users import OWNER_READ_PROBABILITY, UserPopulation
 _DEVICE_INDEX = {device: i for i, device in enumerate(Device.storage_devices())}
 _INDEX_DEVICE = {i: device for device, i in _DEVICE_INDEX.items()}
 
+#: Version of the generation pipeline.  Part of every trace-store cache
+#: key: bump it whenever a change alters the stream a fixed
+#: :class:`WorkloadConfig` produces, and every cached store invalidates
+#: at once (see :mod:`repro.engine.store`).
+GENERATOR_VERSION = 2
+
 #: Rounds of +1 day shifting before an event is accepted unconditionally.
 _MAX_DAY_SHIFTS = 28
 

@@ -163,3 +163,114 @@ def test_cli_replay(tmp_path, capsys):
     assert main(["replay", str(out)]) == 0
     printed = capsys.readouterr().out
     assert "startup" in printed
+
+
+# ---------------------------------------------------------------------------
+# Trace store: CLI surface and Study cache plumbing
+
+
+def test_cli_generate_store_and_trace_info(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main([
+        "generate", "--scale", "0.002", "--seed", "7", "--days", "90",
+        "--store", str(cache),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "stored" in printed and "shards" in printed
+    store_dir = next(cache.glob("trace-*"))
+
+    assert main(["trace", "info", str(store_dir)]) == 0
+    info = capsys.readouterr().out
+    assert "events:" in info and "config:" in info
+    assert "seed:      7" in info
+    assert "shard checksums:" in info
+
+    assert main(["trace", "verify", str(store_dir)]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+    # Analyzing the store directory gives the same Table 3 as the cache path.
+    assert main(["analyze", str(store_dir)]) == 0
+    from_store = capsys.readouterr().out
+    assert main([
+        "analyze", "--scale", "0.002", "--seed", "7", "--days", "90",
+        "--cache-dir", str(cache),
+    ]) == 0
+    from_cache = capsys.readouterr().out
+    assert from_store == from_cache
+    assert "Table 3" in from_store
+
+
+def test_cli_trace_info_rejects_non_store(tmp_path, capsys):
+    assert main(["trace", "info", str(tmp_path)]) == 1
+    assert "trace info:" in capsys.readouterr().err
+
+
+def test_cli_generate_requires_some_output(capsys):
+    assert main(["generate", "--scale", "0.002"]) == 2
+    assert "--store" in capsys.readouterr().err
+
+
+def test_cli_trace_import(tmp_path, capsys):
+    out = tmp_path / "t.rt"
+    main(["generate", "--scale", "0.002", "--seed", "7", "--days", "90", str(out)])
+    capsys.readouterr()
+    assert main(["trace", "import", str(out), str(tmp_path / "store")]) == 0
+    assert "imported" in capsys.readouterr().out
+    assert main(["analyze", str(tmp_path / "store")]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_study_cache_dir_streams_from_store(tmp_path):
+    import numpy as np
+
+    from repro.engine.store import store_dir_for
+
+    config = WorkloadConfig(scale=0.004, seed=7)
+    plain = Study(StudyConfig(workload=config))
+    cached = Study(StudyConfig(workload=config, cache_dir=str(tmp_path)))
+    cold = list(cached.iter_batches("raw"))  # writes the store
+    assert (store_dir_for(tmp_path, config) / "manifest.json").is_file()
+
+    warm_study = Study(StudyConfig(workload=config, cache_dir=str(tmp_path)))
+    warm = list(warm_study.iter_batches("raw"))
+    assert warm_study._trace is None  # warm path never generated
+    assert isinstance(warm[0].time, np.memmap)
+
+    for kind in ("raw", "good", "deduped"):
+        want = list(plain.iter_batches(kind))
+        got = list(Study(StudyConfig(workload=config,
+                                     cache_dir=str(tmp_path))).iter_batches(kind))
+        assert sum(len(b) for b in got) == sum(len(b) for b in want)
+        assert np.array_equal(
+            np.concatenate([b.time for b in got]),
+            np.concatenate([b.time for b in want]),
+        )
+    assert cold and warm
+
+
+def test_study_cache_dir_table3_matches_uncached(tmp_path):
+    config = WorkloadConfig(scale=0.004, seed=7)
+    plain = Study(StudyConfig(workload=config)).table3().render()
+    cached = Study(
+        StudyConfig(workload=config, cache_dir=str(tmp_path))
+    ).table3().render()
+    assert plain == cached
+
+
+def test_study_trace_store_requires_cache_dir():
+    study = Study(StudyConfig(workload=WorkloadConfig(scale=0.004, seed=7)))
+    with pytest.raises(ValueError, match="cache_dir"):
+        study.trace_store()
+
+
+def test_cli_trace_import_clean_errors(tmp_path, capsys):
+    assert main(["trace", "import", str(tmp_path / "missing.rt"),
+                 str(tmp_path / "s")]) == 1
+    assert "trace import:" in capsys.readouterr().err
+    out = tmp_path / "t.rt"
+    main(["generate", "--scale", "0.002", "--seed", "7", "--days", "90", str(out)])
+    capsys.readouterr()
+    assert main(["trace", "import", str(out), str(tmp_path / "s")]) == 0
+    capsys.readouterr()
+    assert main(["trace", "import", str(out), str(tmp_path / "s")]) == 1
+    assert "already exists" in capsys.readouterr().err

@@ -1,0 +1,257 @@
+"""Columnar trace-store tests: round-trip, cache keying, memmap behavior."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch, rechunk
+from repro.engine.store import (
+    StoreError,
+    TraceStore,
+    config_hash,
+    open_cached,
+    open_or_generate,
+    store_dir_for,
+    write_cached,
+)
+from repro.workload.config import NCAR_TEST_CONFIG, WorkloadConfig
+from repro.workload.generator import generate_trace
+
+ALL_COLUMNS = (
+    "file_id", "size", "time", "is_write", "device", "error",
+    "user", "latency", "transfer",
+)
+
+
+def small_batch(n=5, t0=0.0, optional=True):
+    kwargs = {}
+    if optional:
+        kwargs = dict(
+            user=np.arange(n), latency=np.linspace(0, 1, n),
+            transfer=np.linspace(1, 2, n),
+        )
+    return EventBatch.from_columns(
+        file_id=np.arange(n),
+        size=np.full(n, 100),
+        time=t0 + np.arange(n, dtype=float),
+        is_write=(np.arange(n) % 2).astype(bool),
+        device=np.zeros(n, dtype=np.int8),
+        error=np.zeros(n, dtype=np.int8),
+        **kwargs,
+    )
+
+
+def assert_batches_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        for name in ALL_COLUMNS:
+            a, b = getattr(g, name), getattr(w, name)
+            if b is None:
+                assert a is None, name
+            else:
+                assert a is not None, name
+                assert np.asarray(a).dtype == np.asarray(b).dtype, name
+                assert np.array_equal(np.asarray(a), np.asarray(b)), name
+
+
+# ---------------------------------------------------------------------------
+# Round-trip
+
+
+@pytest.fixture(scope="module")
+def test_trace():
+    return generate_trace(NCAR_TEST_CONFIG)
+
+
+def test_round_trip_is_bit_identical(tmp_path, test_trace):
+    """Every column of every batch survives the disk round-trip exactly."""
+    store = TraceStore.write(
+        tmp_path / "s", test_trace.iter_batches(chunk_size=4096),
+        config=NCAR_TEST_CONFIG,
+    )
+    reopened = TraceStore.open(tmp_path / "s")
+    assert reopened.n_events == test_trace.n_events
+    assert_batches_equal(
+        reopened.batches(), list(test_trace.iter_batches(chunk_size=4096))
+    )
+
+
+def test_round_trip_without_optional_columns(tmp_path):
+    batches = [small_batch(optional=False), small_batch(t0=10.0, optional=False)]
+    store = TraceStore.write(tmp_path / "s", batches)
+    got = store.batches()
+    assert store.columns == ["file_id", "size", "time", "is_write", "device", "error"]
+    assert_batches_equal(got, batches)
+    assert got[0].user is None and got[0].latency is None
+
+
+def test_empty_batches_are_dropped(tmp_path):
+    batches = [EventBatch.empty(), small_batch(), EventBatch.empty(),
+               small_batch(t0=10.0)]
+    store = TraceStore.write(tmp_path / "s", batches)
+    assert store.n_shards == 2
+    assert_batches_equal(store.batches(), [b for b in batches if len(b)])
+
+
+def test_empty_stream_round_trips(tmp_path):
+    store = TraceStore.write(tmp_path / "s", [EventBatch.empty()])
+    assert store.n_events == 0 and store.n_shards == 0
+    assert store.batches() == []
+    assert store.span_seconds == 0.0
+    store.verify()
+
+
+def test_inconsistent_columns_rejected(tmp_path):
+    with pytest.raises(StoreError, match="inconsistent columns"):
+        TraceStore.write(
+            tmp_path / "s", [small_batch(), small_batch(optional=False)]
+        )
+
+
+def test_existing_store_not_clobbered(tmp_path):
+    TraceStore.write(tmp_path / "s", [small_batch()])
+    with pytest.raises(StoreError, match="already exists"):
+        TraceStore.write(tmp_path / "s", [small_batch()])
+    TraceStore.write(tmp_path / "s", [small_batch()], overwrite=True)
+
+
+def test_open_rejects_non_stores(tmp_path):
+    with pytest.raises(StoreError):
+        TraceStore.open(tmp_path)
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(StoreError, match="not a"):
+        TraceStore.open(tmp_path)
+
+
+def test_verify_catches_bit_rot(tmp_path):
+    store = TraceStore.write(tmp_path / "s", [small_batch()])
+    store.verify()
+    victim = next((tmp_path / "s").glob("shard-00000.time.npy"))
+    data = bytearray(victim.read_bytes())
+    data[-1] ^= 0xFF
+    victim.write_bytes(bytes(data))
+    with pytest.raises(StoreError, match="checksum mismatch"):
+        TraceStore.open(tmp_path / "s").verify()
+
+
+# ---------------------------------------------------------------------------
+# Memmapped (read-only) batches through the batch transforms
+
+
+@pytest.fixture()
+def mapped(tmp_path):
+    batches = [small_batch(), small_batch(t0=10.0)]
+    return TraceStore.write(tmp_path / "s", batches).batches()
+
+
+def test_mapped_arrays_are_read_only(mapped):
+    assert isinstance(mapped[0].time, np.memmap)
+    assert not mapped[0].time.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        mapped[0].time[0] = 99.0
+
+
+def test_select_and_good_on_mapped(mapped):
+    batch = mapped[0]
+    picked = batch.select(batch.is_write)
+    assert np.array_equal(np.asarray(picked.file_id), [1, 3])
+    assert len(batch.good()) == len(batch)  # no errors in the fixture
+
+
+def test_concat_and_rechunk_on_mapped(mapped):
+    merged = EventBatch.concat(mapped)
+    assert len(merged) == sum(len(b) for b in mapped)
+    assert merged.time.flags.writeable  # concat copies off the maps
+    chunks = list(rechunk(iter(mapped), chunk_size=3))
+    assert sum(len(c) for c in chunks) == sum(len(b) for b in mapped)
+    assert all(len(c) <= 3 for c in chunks)
+    assert_batches_equal([EventBatch.concat(chunks)], [merged])
+
+
+def test_store_rechunks_on_read(tmp_path):
+    store = TraceStore.write(tmp_path / "s", [small_batch(n=10)])
+    sizes = [len(b) for b in store.iter_batches(chunk_size=4)]
+    assert sizes == [4, 4, 2]
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache
+
+
+def test_config_hash_sensitivity():
+    base = WorkloadConfig(scale=0.004, seed=7)
+    assert config_hash(base) == config_hash(WorkloadConfig(scale=0.004, seed=7))
+    assert config_hash(base) != config_hash(WorkloadConfig(scale=0.004, seed=8))
+    assert config_hash(base) != config_hash(base, variant="hsm")
+    assert config_hash(base) != config_hash(base, generator_version=999)
+
+
+def test_open_cached_miss_then_hit(tmp_path, test_trace):
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is None
+    write_cached(
+        NCAR_TEST_CONFIG, tmp_path, test_trace.iter_batches(),
+        total_bytes=test_trace.namespace.total_bytes,
+    )
+    store = open_cached(NCAR_TEST_CONFIG, tmp_path)
+    assert store is not None
+    assert store.path == store_dir_for(tmp_path, NCAR_TEST_CONFIG)
+    assert store.total_bytes == test_trace.namespace.total_bytes
+    assert_batches_equal(store.batches(), list(test_trace.iter_batches()))
+
+
+def test_generator_version_bump_invalidates(tmp_path, test_trace, monkeypatch):
+    write_cached(NCAR_TEST_CONFIG, tmp_path, test_trace.iter_batches())
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is not None
+    import repro.workload.generator as generator
+
+    monkeypatch.setattr(generator, "GENERATOR_VERSION", 9999)
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is None
+
+
+def test_open_or_generate_generates_once(tmp_path, test_trace):
+    store = open_or_generate(NCAR_TEST_CONFIG, tmp_path)
+    assert store.n_events == test_trace.n_events
+    manifest_before = (store.path / "manifest.json").stat().st_mtime_ns
+    again = open_or_generate(NCAR_TEST_CONFIG, tmp_path)
+    assert (again.path / "manifest.json").stat().st_mtime_ns == manifest_before
+    assert_batches_equal(again.batches(), list(test_trace.iter_batches()))
+
+
+def test_open_or_generate_hsm_variant(tmp_path, test_trace):
+    from repro.engine.replay import prepare_stream
+
+    store = open_or_generate(NCAR_TEST_CONFIG, tmp_path, variant="hsm")
+    want = prepare_stream(test_trace, deduped=True)
+    assert store.columns == ["file_id", "size", "time", "is_write", "device", "error"]
+    assert_batches_equal(store.batches(), want)
+    with pytest.raises(ValueError, match="unknown store variant"):
+        open_or_generate(NCAR_TEST_CONFIG, tmp_path, variant="nope")
+
+
+def test_write_cached_evicts_corrupt_slot(tmp_path, test_trace):
+    """A corrupt occupant of the cache slot is replaced, not a wedge."""
+    target = store_dir_for(tmp_path, NCAR_TEST_CONFIG)
+    target.mkdir(parents=True)
+    (target / "manifest.json").write_text("{ not json")
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is None
+    store = write_cached(
+        NCAR_TEST_CONFIG, tmp_path, test_trace.iter_batches(),
+        total_bytes=test_trace.namespace.total_bytes,
+    )
+    assert store.path == target
+    store.verify()
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is not None
+    # No staging debris left behind.
+    assert not list(tmp_path.glob(".tmp-*"))
+
+
+def test_overwrite_removes_orphan_shards(tmp_path):
+    TraceStore.write(
+        tmp_path / "s", [small_batch(), small_batch(t0=10.0), small_batch(t0=20.0)]
+    )
+    assert len(list((tmp_path / "s").glob("shard-*.npy"))) == 27
+    store = TraceStore.write(tmp_path / "s", [small_batch()], overwrite=True)
+    assert store.n_shards == 1
+    assert len(list((tmp_path / "s").glob("shard-*.npy"))) == 9
+    store.verify()

@@ -83,3 +83,73 @@ def test_parallel_workers_match_serial(serial_result):
         assert key(a) == key(b)
         assert a.capacity_bytes == b.capacity_bytes
         assert dataclasses.asdict(a.metrics) == dataclasses.asdict(b.metrics)
+
+
+# ---------------------------------------------------------------------------
+# Store-backed workers (no arrays cross the pool initializer)
+
+
+def _assert_no_ndarrays(obj):
+    import numpy as np
+
+    assert not isinstance(obj, np.ndarray), "ndarray leaked into worker payload"
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            _assert_no_ndarrays(key)
+            _assert_no_ndarrays(value)
+    elif isinstance(obj, (list, tuple, set)):
+        for value in obj:
+            _assert_no_ndarrays(value)
+
+
+def test_initializer_payload_contains_no_ndarrays(tmp_path):
+    """Workers receive store paths and sizes -- never pickled batch lists."""
+    from repro.engine.sweep import _prepare_stores
+
+    config = SweepConfig(
+        policies=("lru",), capacity_fractions=(0.02,), seeds=(0, 1), **TINY
+    )
+    stores = _prepare_stores(config, str(tmp_path))
+    _assert_no_ndarrays(stores)
+    for seed, (path, total_bytes) in stores.items():
+        assert isinstance(path, str) and isinstance(total_bytes, int)
+        assert (tmp_path / path.split("/")[-1] / "manifest.json").is_file()
+
+
+def test_store_backed_sweep_matches_in_memory_replay(serial_result):
+    """Rows off memmapped stores equal _run_cell_with on in-memory streams."""
+    from repro.engine.replay import prepare_stream
+    from repro.engine.sweep import _run_cell_with, _seed_config
+    from repro.workload.generator import generate_trace
+
+    config = serial_result.config
+    streams = {}
+    for seed in config.seeds:
+        trace = generate_trace(_seed_config(config, seed))
+        streams[seed] = (
+            prepare_stream(trace, chunk_size=config.chunk_size),
+            trace.namespace.total_bytes,
+        )
+    key = lambda r: (r.seed, r.policy, r.capacity_fraction)
+    for row in sorted(serial_result.rows, key=key):
+        want = _run_cell_with(
+            streams,
+            (row.seed, row.policy, row.capacity_fraction, config.writeback_delay),
+        )
+        assert row.capacity_bytes == want.capacity_bytes
+        assert dataclasses.asdict(row.metrics) == dataclasses.asdict(want.metrics)
+
+
+def test_sweep_reuses_cache_dir(tmp_path):
+    config = SweepConfig(
+        policies=("lru",), capacity_fractions=(0.02,), seeds=(0,),
+        cache_dir=str(tmp_path), **TINY,
+    )
+    first = run_sweep(config)
+    stores = list(tmp_path.glob("hsm-*/manifest.json"))
+    assert len(stores) == 1
+    stamp = stores[0].stat().st_mtime_ns
+    second = run_sweep(config)
+    assert stores[0].stat().st_mtime_ns == stamp  # cache hit: not rewritten
+    a, b = first.rows[0], second.rows[0]
+    assert dataclasses.asdict(a.metrics) == dataclasses.asdict(b.metrics)

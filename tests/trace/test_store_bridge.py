@@ -1,0 +1,60 @@
+"""Trace-file <-> columnar-store bridge tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import DEVICE_ORDER
+from repro.trace.errors import ErrorKind
+from repro.trace.record import Device, make_read, make_write
+from repro.trace.store import batches_from_records, import_trace_file
+from repro.trace.writer import TraceWriter
+
+
+def sample_records():
+    return [
+        make_write(Device.MSS_DISK, 10.0, 500, "/a/one", 3, transfer_time=0.5),
+        make_read(Device.TAPE_SILO, 20.0, 500, "/a/one", 3, startup_latency=2.0),
+        make_read(Device.MSS_DISK, 30.0, 900, "/b/two", 4),
+        make_read(Device.MSS_DISK, 40.0, 0, "/gone", 5,
+                  error=ErrorKind.NO_SUCH_FILE),
+        make_read(Device.TAPE_SHELF, 50.0, 700, "/a/one", 6,
+                  error=ErrorKind.MEDIA_ERROR),
+    ]
+
+
+def test_batches_from_records_interns_paths():
+    batches = list(batches_from_records(sample_records(), chunk_size=3))
+    assert [len(b) for b in batches] == [3, 2]
+    merged_ids = np.concatenate([b.file_id for b in batches])
+    # /a/one -> 0 (first appearance), /b/two -> 1, NO_SUCH_FILE -> -1,
+    # MEDIA_ERROR against /a/one -> its interned id.
+    assert merged_ids.tolist() == [0, 0, 1, -1, 0]
+    assert batches[0].is_write.tolist() == [True, False, False]
+    devices = [DEVICE_ORDER[i] for i in np.concatenate([b.device for b in batches])]
+    assert devices == [Device.MSS_DISK, Device.TAPE_SILO, Device.MSS_DISK,
+                       Device.MSS_DISK, Device.TAPE_SHELF]
+    errors = np.concatenate([b.error for b in batches]).tolist()
+    assert errors == [0, 0, 0, int(ErrorKind.NO_SUCH_FILE),
+                      int(ErrorKind.MEDIA_ERROR)]
+    assert batches[0].user.tolist() == [3, 3, 4]
+    assert batches[0].latency.tolist() == [0.0, 2.0, 0.0]
+    assert batches[0].transfer.tolist() == [0.5, 0.0, 0.0]
+
+
+def test_batches_from_records_rejects_bad_chunk():
+    with pytest.raises(ValueError):
+        list(batches_from_records(sample_records(), chunk_size=0))
+
+
+def test_import_trace_file_round_trip(tmp_path):
+    trace_file = tmp_path / "t.rt"
+    with TraceWriter(trace_file) as writer:
+        writer.write_all(sample_records())
+    store = import_trace_file(trace_file, tmp_path / "store", chunk_size=2)
+    assert store.n_events == 5
+    assert store.manifest["variant"] == "imported"
+    assert store.manifest["config_hash"] is None
+    assert store.manifest["meta"]["source"] == str(trace_file)
+    merged = np.concatenate([b.file_id for b in store.iter_batches()])
+    assert merged.tolist() == [0, 0, 1, -1, 0]
+    store.verify()
