@@ -155,10 +155,19 @@ def test_store_cold_write_and_warm_reuse(cache_dir):
     if RELAXED:
         pytest.skip("REPRO_BENCH_RELAXED=1: timing gates skipped")
     if not was_cached:
-        assert cold_ratio <= 1.3, (
-            f"cold store write cost {cold_ratio:.2f}x generation (limit 1.3x)"
+        # The store write is a fixed absolute cost (np.save + sha256);
+        # generator v3 made the denominator ~3x cheaper, so the measured
+        # ratio moved from ~1.1x to 1.0-1.35x run to run.  1.6x still
+        # fails if persisting ever costs a meaningful fraction of
+        # generation again.
+        assert cold_ratio <= 1.6, (
+            f"cold store write cost {cold_ratio:.2f}x generation (limit 1.6x)"
         )
-    assert speedup >= 10.0, (
+    # Generator v3 vectorized cold generation (~3x faster), which shrank
+    # this gate's regeneration baseline: the warm path is unchanged but
+    # its measured advantage compressed from ~13x to ~10-11x.  6x keeps
+    # the capture-once/analyze-many claim falsifiable with noise headroom.
+    assert speedup >= 6.0, (
         f"warm open_or_generate + analyze only {speedup:.1f}x faster than "
-        f"regeneration (need >= 10x)"
+        f"regeneration (need >= 6x)"
     )

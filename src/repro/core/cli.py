@@ -8,6 +8,7 @@ Subcommands::
     policies   compare migration policies on a synthetic workload
     sweep      run the Section 6 ablation grid in parallel
     report     run the full experiment suite and print every comparison
+    bench      cold-generation benchmark + per-stage profile table
     trace      columnar trace-store utilities (info / import / verify)
 
 A ``--cache-dir`` (or ``--store``) points at the content-addressed
@@ -229,7 +230,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("profile (wall time):")
         for stage, seconds in stages.items():
             print(f"  {stage:9s} {seconds:8.2f} s")
+            if stage == "generate":
+                _print_generation_stages((base.trace, dense.trace))
         print(f"  {'total':9s} {total:8.2f} s")
+    return 0
+
+
+def _print_generation_stages(traces) -> None:
+    """Indented per-stage generation breakdown for ``report --profile``."""
+    from repro.workload.profiler import StageProfiler
+
+    merged = StageProfiler()
+    for trace in traces:
+        for name, seconds in trace.stage_seconds.items():
+            merged.add(name, seconds)
+    if merged.stages:
+        print(merged.render(indent="      "))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Cold-generation benchmark + stage profile, outside pytest.
+
+    Times the vectorized pipeline (best of ``--rounds``), prints the
+    stage-profile table, and re-times the placement and session-packing
+    stages through the seed's per-event reference implementations so the
+    vectorization speedup is reproducible from the shell.  ``--suite``
+    then runs the full pytest benchmark suite.
+    """
+    import time
+
+    from repro.core.study import StudyConfig
+    from repro.workload.generator import (
+        generate_trace,
+        time_generation_stage_paths,
+    )
+    from repro.workload.profiler import StageProfiler
+
+    # The dense-study workload: the config the throughput gates pin.
+    config = StudyConfig.dense(
+        scale=args.scale, seed=args.seed, days=args.days
+    ).workload
+
+    best_seconds = float("inf")
+    prof = StageProfiler()
+    trace = None
+    for _ in range(max(args.rounds, 1)):
+        round_prof = StageProfiler()
+        start = time.perf_counter()
+        trace = generate_trace(config, profiler=round_prof)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds, prof = elapsed, round_prof
+    rate = trace.n_events / best_seconds if best_seconds > 0 else float("inf")
+    print(
+        f"cold generation: {best_seconds:.3f} s best of {args.rounds} "
+        f"({trace.n_events} events, {rate:,.0f} ev/s)"
+    )
+    print("stage profile:")
+    print(prof.render(indent="  "))
+
+    # Scalar-vs-vectorized stage comparison on this trace's good events,
+    # through the same harness the throughput benchmark gates.
+    timings = time_generation_stage_paths(trace, rounds=max(args.rounds, 1))
+    for label in ("placement", "sessions"):
+        scalar = timings[f"scalar_{label}_seconds"]
+        vector = timings[f"vector_{label}_seconds"]
+        speedup = scalar / vector if vector > 0 else float("inf")
+        print(
+            f"{label}: scalar {scalar:.3f} s -> vectorized {vector:.3f} s "
+            f"({speedup:.1f}x)"
+        )
+    print(f"combined stage speedup: {timings['speedup']:.1f}x")
+
+    if args.suite is not None:
+        import pytest
+
+        print(f"\nrunning benchmark suite: {args.suite}")
+        return int(pytest.main(["-q", "-s", args.suite]))
     return 0
 
 
@@ -353,6 +430,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed store cache for the base study's "
                    "batch streams")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="cold-generation benchmark + stage profile (and, with "
+        "--suite, the pytest benchmark suite)",
+    )
+    p.add_argument("--scale", type=float, default=0.02,
+                   help="dense-workload scale (default 0.02, the gated config)")
+    p.add_argument("--seed", type=int, default=42, help="random seed (default 42)")
+    p.add_argument("--days", type=float, default=14.62,
+                   help="dense-workload span in days (default 14.62)")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="timing rounds, best-of (default 3)")
+    p.add_argument("--suite", nargs="?", const="benchmarks", default=None,
+                   metavar="DIR",
+                   help="also run the pytest benchmark suite from this "
+                   "directory (default: benchmarks)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("trace", help="columnar trace-store utilities")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

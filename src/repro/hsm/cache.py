@@ -174,13 +174,24 @@ class ManagedDiskCache:
         capacity = self.config.capacity_bytes
         # Whole-batch pre-check: when every size is positive and fits the
         # cache (the normal case) the hot loop can skip two comparisons
-        # per event; a batch with a nonpositive or oversized size replays
-        # through the exact per-event path, which raises / bypasses at
-        # the same point `access` would.
+        # per event.  A batch containing nonpositive or oversized sizes
+        # is split at those indices: the degenerate events take the
+        # per-event path (raise / bypass exactly where `access` would),
+        # and every clean span between them still runs the fast loop.
         if min(sizes) <= 0 or max(sizes) > capacity:
-            self._access_batch_checked(file_ids, sizes, times, writes)
+            self._access_batch_split(file_ids, sizes, times, writes)
             return
+        self._access_batch_fast(file_ids, sizes, times, writes)
 
+    def _access_batch_fast(
+        self,
+        file_ids: Sequence[int],
+        sizes: Sequence[int],
+        times: Sequence[float],
+        writes: Sequence[bool],
+    ) -> None:
+        """The buffered-hit hot loop; callers guarantee clean sizes."""
+        n = len(file_ids)
         sizes_map = self._sizes
         queue = self._flush_queue
         policy = self.policy
@@ -220,34 +231,43 @@ class ManagedDiskCache:
         self._last_time = float(times[n - 1])
         metrics.span_seconds = self._last_time - self._first_time
 
-    def _access_batch_checked(
+    def _access_batch_split(
         self,
         file_ids: Sequence[int],
         sizes: Sequence[int],
         times: Sequence[float],
         writes: Sequence[bool],
     ) -> None:
-        """Per-event batch path for streams with oversized or bad sizes."""
+        """Batch path for streams containing oversized or bad sizes.
+
+        Only the degenerate events drop to per-event handling; the clean
+        spans between them replay through :meth:`_access_batch_fast`, so
+        one oversized file no longer demotes a whole batch to the scalar
+        loop.  Raises on a nonpositive size exactly where the per-event
+        path would, with every earlier event already applied.
+        """
         capacity = self.config.capacity_bytes
-        last_seen: Optional[float] = None
-        try:
-            for file_id, size, time, is_write in zip(file_ids, sizes, times, writes):
-                if size <= 0:
-                    raise ValueError("file size must be positive")
-                last_seen = time
-                self.flush_due(time)
-                if size > capacity:
-                    self._bypass(file_id, size, time, is_write)
-                elif is_write:
-                    self._write(file_id, size, time)
-                else:
-                    self._read(file_id, size, time)
-        finally:
-            if last_seen is not None:
-                if self._first_time is None:
-                    self._first_time = float(times[0])
-                self._last_time = float(last_seen)
-                self.metrics.span_seconds = self._last_time - self._first_time
+        n = len(file_ids)
+        start = 0
+        for i, size in enumerate(sizes):
+            if 0 < size <= capacity:
+                continue
+            if i > start:
+                self._access_batch_fast(
+                    file_ids[start:i], sizes[start:i],
+                    times[start:i], writes[start:i],
+                )
+            if size <= 0:
+                raise ValueError("file size must be positive")
+            time = times[i]
+            self._note_time(float(time))
+            self.flush_due(time)
+            self._bypass(file_ids[i], size, time, writes[i])
+            start = i + 1
+        if start < n:
+            self._access_batch_fast(
+                file_ids[start:n], sizes[start:n], times[start:n], writes[start:n]
+            )
 
     def _read(self, file_id: int, size: int, time: float) -> AccessOutcome:
         if file_id in self._sizes:

@@ -22,8 +22,8 @@ records are materialized lazily.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -35,22 +35,33 @@ from repro.trace.record import Device, TraceRecord
 from repro.trace.writer import TraceWriter
 from repro.util.rng import SeedSequenceFactory
 from repro.util.units import DAY
-from repro.workload.clustering import expand_bursts, pack_sessions
+from repro.workload.clustering import (
+    expand_bursts,
+    pack_sessions,
+    pack_sessions_scalar,
+)
 from repro.workload.config import WorkloadConfig
 from repro.workload.intensity import IntensityPair
 from repro.workload.latency import AnalyticLatencyModel
 from repro.workload.lifecycle import LifecycleSample, draw_lifecycles
-from repro.workload.placement import DevicePlacement
+from repro.workload.placement import (
+    DEVICE_INDEX,
+    DevicePlacement,
+    assign_devices_batch,
+)
+from repro.workload.profiler import StageProfiler
 from repro.workload.users import OWNER_READ_PROBABILITY, UserPopulation
 
-_DEVICE_INDEX = {device: i for i, device in enumerate(Device.storage_devices())}
+_DEVICE_INDEX = DEVICE_INDEX
 _INDEX_DEVICE = {i: device for device, i in _DEVICE_INDEX.items()}
 
 #: Version of the generation pipeline.  Part of every trace-store cache
 #: key: bump it whenever a change alters the stream a fixed
 #: :class:`WorkloadConfig` produces, and every cached store invalidates
-#: at once (see :mod:`repro.engine.store`).
-GENERATOR_VERSION = 2
+#: at once (see :mod:`repro.engine.store`).  v3: placement, session
+#: packing and the chain hour redraw went array-level, which reorders
+#: RNG consumption (statistically equivalent, bit-different streams).
+GENERATOR_VERSION = 3
 
 #: Rounds of +1 day shifting before an event is accepted unconditionally.
 _MAX_DAY_SHIFTS = 28
@@ -76,6 +87,9 @@ class SyntheticTrace:
     latencies: np.ndarray      # float64 seconds
     transfers: np.ndarray      # float64 seconds
     lifecycles: LifecycleSample
+    #: Wall-clock seconds per generation stage (``repro report --profile``
+    #: and ``repro bench`` print this table).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_events(self) -> int:
@@ -138,67 +152,93 @@ class SyntheticTrace:
             return writer.write_all(self.iter_records())
 
 
-def generate_trace(config: Optional[WorkloadConfig] = None) -> SyntheticTrace:
-    """Generate a synthetic NCAR trace from a configuration."""
+def generate_trace(
+    config: Optional[WorkloadConfig] = None,
+    profiler: Optional[StageProfiler] = None,
+) -> SyntheticTrace:
+    """Generate a synthetic NCAR trace from a configuration.
+
+    Pass a :class:`~repro.workload.profiler.StageProfiler` to collect
+    per-stage wall time; the table also lands on the returned trace's
+    :attr:`~SyntheticTrace.stage_seconds`.
+    """
     config = config or WorkloadConfig()
     seeds = SeedSequenceFactory(config.seed)
+    prof = profiler if profiler is not None else StageProfiler()
 
-    namespace = generate_namespace(
-        config.namespace_profile(), rng=seeds.named("namespace")
-    )
-    n_files = namespace.file_count
-    large_mask = _file_size_array(namespace) >= config.placement.disk_threshold_bytes
-    lifecycles = draw_lifecycles(seeds.named("lifecycle"), n_files, large_mask)
-    _apply_history_atom(config, namespace, lifecycles, seeds.named("atom"))
-    _shrink_preexisting_archives(config, namespace, lifecycles, seeds.named("shrink"))
+    with prof.stage("namespace"):
+        namespace = generate_namespace(
+            config.namespace_profile(), rng=seeds.named("namespace")
+        )
+    with prof.stage("lifecycles"):
+        n_files = namespace.file_count
+        large_mask = (
+            _file_size_array(namespace) >= config.placement.disk_threshold_bytes
+        )
+        lifecycles = draw_lifecycles(seeds.named("lifecycle"), n_files, large_mask)
+        _apply_history_atom(config, namespace, lifecycles, seeds.named("atom"))
+        _shrink_preexisting_archives(
+            config, namespace, lifecycles, seeds.named("shrink")
+        )
 
-    times, file_idx, event_is_write = _build_event_chains(
-        config, lifecycles, seeds.named("chains"), large_mask, namespace
-    )
-    times, event_is_write, file_idx = expand_bursts(
-        seeds.named("bursts"), times, event_is_write, file_idx,
-        config.bursts, config.duration_seconds,
-    )
+    with prof.stage("chains"):
+        times, file_idx, event_is_write = _build_event_chains(
+            config, lifecycles, seeds.named("chains"), large_mask, namespace
+        )
+    with prof.stage("bursts"):
+        times, event_is_write, file_idx = expand_bursts(
+            seeds.named("bursts"), times, event_is_write, file_idx,
+            config.bursts, config.duration_seconds,
+        )
 
-    order = np.argsort(times, kind="stable")
-    times = times[order]
-    file_idx = file_idx[order]
-    event_is_write = event_is_write[order]
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        file_idx = file_idx[order]
+        event_is_write = event_is_write[order]
 
-    sizes = _file_size_array(namespace)[file_idx]
-    device_idx = _assign_devices(
-        config, lifecycles, namespace, times, file_idx, event_is_write, sizes,
-        seeds.named("placement"),
-    )
+    with prof.stage("placement"):
+        sizes = _file_size_array(namespace)[file_idx]
+        device_idx = _assign_devices(
+            config, lifecycles, namespace, times, file_idx, event_is_write,
+            sizes, seeds.named("placement"),
+        )
 
-    file_dirs = _file_dir_array(namespace)
-    times, session_ids = pack_sessions(
-        seeds.named("sessions"), times, config.sessions,
-        group_keys=file_dirs[file_idx],
-    )
-    users = _assign_users(
-        file_dirs, file_idx, event_is_write, session_ids,
-        config, seeds.named("users"),
-    )
+    with prof.stage("sessions"):
+        file_dirs = _file_dir_array(namespace)
+        times, session_ids = pack_sessions(
+            seeds.named("sessions"), times, config.sessions,
+            group_keys=file_dirs[file_idx],
+        )
+    with prof.stage("users"):
+        users = _assign_users(
+            file_dirs, file_idx, event_is_write, session_ids,
+            config, seeds.named("users"),
+        )
 
-    errors = np.zeros(times.size, dtype=np.int8)
-    (times, file_idx, event_is_write, device_idx, sizes, users, errors) = _inject_errors(
-        config, namespace, seeds.named("errors"),
-        times, file_idx, event_is_write, device_idx, sizes, users, errors,
-    )
+    with prof.stage("errors"):
+        errors = np.zeros(times.size, dtype=np.int8)
+        (times, file_idx, event_is_write, device_idx, sizes, users, errors) = (
+            _inject_errors(
+                config, namespace, seeds.named("errors"),
+                times, file_idx, event_is_write, device_idx, sizes, users,
+                errors,
+            )
+        )
 
-    order = np.argsort(times, kind="stable")
-    times = times[order]
-    file_idx = file_idx[order]
-    event_is_write = event_is_write[order]
-    device_idx = device_idx[order]
-    sizes = sizes[order]
-    users = users[order]
-    errors = errors[order]
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        file_idx = file_idx[order]
+        event_is_write = event_is_write[order]
+        device_idx = device_idx[order]
+        sizes = sizes[order]
+        users = users[order]
+        errors = errors[order]
 
-    latencies, transfers = _fill_latencies(
-        config, seeds.named("latency"), event_is_write, device_idx, sizes, errors
-    )
+    with prof.stage("latencies"):
+        latencies, transfers = _fill_latencies(
+            config, seeds.named("latency"), event_is_write, device_idx, sizes,
+            errors,
+        )
 
     return SyntheticTrace(
         config=config,
@@ -213,6 +253,7 @@ def generate_trace(config: Optional[WorkloadConfig] = None) -> SyntheticTrace:
         latencies=latencies,
         transfers=transfers,
         lifecycles=lifecycles,
+        stage_seconds=dict(prof.stages),
     )
 
 
@@ -348,6 +389,48 @@ def _sample_run_births(
     return births
 
 
+def _hour_cumulative_tables(intensities: IntensityPair) -> np.ndarray:
+    """Cumulative hour-of-day profiles, one row per (direction, dow).
+
+    Row ``int(direction) * 7 + dow`` holds the normalized cumulative
+    distribution over the 24 hours, ready for
+    :func:`_draw_hours_grouped`'s one-shot inverse-CDF lookup.
+    """
+    cum = np.empty((14, 24))
+    for direction in (False, True):
+        model = intensities.for_direction(direction)
+        for dow in range(7):
+            row = np.cumsum(model.hour_probabilities_for_dow(dow))
+            cum[int(direction) * 7 + dow] = row / row[-1]
+    return cum
+
+
+def _draw_hours_grouped(
+    rng: np.random.Generator,
+    hour_cum: np.ndarray,
+    dirs: np.ndarray,
+    dows: np.ndarray,
+) -> np.ndarray:
+    """Fractional hour-of-day per event from its (direction, dow) profile.
+
+    Equivalent to one ``rng.choice(24, p=...)`` per (direction, dow)
+    group plus a uniform within-hour offset, but drawn for all groups at
+    once: each row's cumulative table is offset by its row index, so a
+    single ``np.searchsorted`` over the flattened tables inverts every
+    event's own CDF.
+    """
+    n = dirs.size
+    if n == 0:
+        return np.empty(0)
+    n_rows, n_hours = hour_cum.shape
+    flat = (hour_cum + np.arange(n_rows)[:, None]).ravel()
+    row = dirs.astype(np.int64) * 7 + dows
+    u = rng.random(n)
+    drawn = np.searchsorted(flat, u + row, side="right") - row * n_hours
+    np.clip(drawn, 0, n_hours - 1, out=drawn)
+    return drawn + rng.random(n)
+
+
 def _build_event_chains(
     config: WorkloadConfig,
     lifecycles: LifecycleSample,
@@ -412,12 +495,7 @@ def _build_event_chains(
         direction: _day_factor_table(intensities, direction, n_days)
         for direction in (False, True)
     }
-    hour_probs = {
-        (direction, dow): intensities.for_direction(direction)
-        .hour_probabilities_for_dow(dow)
-        for direction in (False, True)
-        for dow in range(7)
-    }
+    hour_cum = _hour_cumulative_tables(intensities)
     g = config.gaps
     prev_time = births.copy()
     max_count = int(counts.max()) if counts.size else 0
@@ -491,15 +569,8 @@ def _build_event_chains(
                     # on January 2nd (keeps the Figure 6 dips visible).
                     day_idx[rejected] += rng.integers(1, 8, size=rejected.size)
                     pend = rejected
-            hours = np.empty(nd.size)
             dows = ((day_idx % 7) + 1) % 7  # trace epoch is a Monday
-            for direction in (False, True):
-                for dow in range(7):
-                    sel = (dirs_nd == direction) & (dows == dow)
-                    count = int(sel.sum())
-                    if count:
-                        drawn = rng.choice(24, size=count, p=hour_probs[(direction, dow)])
-                        hours[sel] = drawn + rng.random(count)
+            hours = _draw_hours_grouped(rng, hour_cum, dirs_nd, dows)
             new_times[nd] = day_idx * DAY + hours * (DAY / 24.0)
 
         times[pos] = new_times
@@ -519,7 +590,29 @@ def _assign_devices(
     sizes: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Storage level per event (requires time-sorted events)."""
+    """Storage level per event (requires time-sorted events).
+
+    One :func:`~repro.workload.placement.assign_devices_batch` call over
+    the whole stream; the per-event reference path lives on as
+    :func:`_assign_devices_scalar` for the equivalence tests and the
+    cold-generation benchmark baseline.
+    """
+    return assign_devices_batch(
+        rng, config.placement, file_idx, sizes, times, is_write
+    )
+
+
+def _assign_devices_scalar(
+    config: WorkloadConfig,
+    lifecycles: LifecycleSample,
+    namespace: Namespace,
+    times: np.ndarray,
+    file_idx: np.ndarray,
+    is_write: np.ndarray,
+    sizes: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The seed's per-event placement loop (reference implementation)."""
     placement = DevicePlacement(config.placement)
     size_array = _file_size_array(namespace)
     for fid in np.where(lifecycles.preexisting)[0]:
@@ -535,6 +628,71 @@ def _assign_devices(
         )
         device_idx[i] = _DEVICE_INDEX[device]
     return device_idx
+
+
+def time_generation_stage_paths(trace: SyntheticTrace, rounds: int = 1) -> dict:
+    """Best-of-``rounds`` wall time of scalar vs vectorized placement and
+    session packing on one trace's good-event stream.
+
+    The shared measurement harness behind ``repro bench`` and
+    ``benchmarks/test_generate_throughput.py``: both compare the seed's
+    per-event reference implementations against the array-level stages
+    on the same realistic time-sorted stream.  Each path draws from its
+    own named seed, so repeated rounds are deterministic.  Returns the
+    four timings plus the outputs (device arrays, packed times) for
+    statistical-equivalence checks.
+    """
+    import time
+
+    config = trace.config
+    good = trace.errors == 0
+    times = trace.times[good]
+    file_idx = trace.file_ids[good]
+    sizes = trace.sizes[good]
+    is_write = trace.is_write[good]
+    group_keys = _file_dir_array(trace.namespace)[file_idx]
+    seeds = SeedSequenceFactory(config.seed)
+
+    def best_of(fn):
+        best = float("inf")
+        result = None
+        for _ in range(max(rounds, 1)):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    scalar_placement, scalar_devices = best_of(lambda: _assign_devices_scalar(
+        config, trace.lifecycles, trace.namespace, times, file_idx,
+        is_write, sizes, seeds.named("p-scalar"),
+    ))
+    vector_placement, vector_devices = best_of(lambda: _assign_devices(
+        config, trace.lifecycles, trace.namespace, times, file_idx,
+        is_write, sizes, seeds.named("p-vector"),
+    ))
+    scalar_sessions, scalar_packed = best_of(lambda: pack_sessions_scalar(
+        seeds.named("s-scalar"), times, config.sessions, group_keys=group_keys,
+    ))
+    vector_sessions, vector_packed = best_of(lambda: pack_sessions(
+        seeds.named("s-vector"), times, config.sessions, group_keys=group_keys,
+    ))
+    scalar_seconds = scalar_placement + scalar_sessions
+    vector_seconds = vector_placement + vector_sessions
+    return {
+        "n_events": int(times.size),
+        "times": times,
+        "scalar_placement_seconds": scalar_placement,
+        "vector_placement_seconds": vector_placement,
+        "scalar_sessions_seconds": scalar_sessions,
+        "vector_sessions_seconds": vector_sessions,
+        "speedup": (
+            scalar_seconds / vector_seconds if vector_seconds else float("inf")
+        ),
+        "scalar_devices": scalar_devices,
+        "vector_devices": vector_devices,
+        "scalar_packed_times": scalar_packed[0],
+        "vector_packed_times": vector_packed[0],
+    }
 
 
 def _assign_users(

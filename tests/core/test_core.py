@@ -274,3 +274,19 @@ def test_cli_trace_import_clean_errors(tmp_path, capsys):
     capsys.readouterr()
     assert main(["trace", "import", str(out), str(tmp_path / "s")]) == 1
     assert "already exists" in capsys.readouterr().err
+
+
+def test_cli_bench_prints_stage_profile(capsys):
+    """`repro bench` runs the cold-generation profile outside pytest."""
+    code = main([
+        "bench", "--scale", "0.004", "--days", "7", "--seed", "3",
+        "--rounds", "1",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "cold generation:" in printed
+    assert "stage profile:" in printed
+    for stage in ("namespace", "chains", "placement", "sessions"):
+        assert stage in printed
+    assert "placement: scalar" in printed
+    assert "sessions: scalar" in printed

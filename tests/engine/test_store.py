@@ -209,6 +209,27 @@ def test_generator_version_bump_invalidates(tmp_path, test_trace, monkeypatch):
     assert open_cached(NCAR_TEST_CONFIG, tmp_path) is None
 
 
+def test_v2_store_never_served_after_v3_bump(tmp_path, test_trace, monkeypatch):
+    """A store captured under generator v2 (the pre-vectorization stream)
+    must not satisfy a warm open under v3: ``open_or_generate`` has to
+    regenerate, and the fresh manifest records the current version."""
+    import repro.workload.generator as generator
+
+    from repro.workload.generator import GENERATOR_VERSION
+
+    # Capture the slot as the *old* pipeline would have keyed it.
+    monkeypatch.setattr(generator, "GENERATOR_VERSION", 2)
+    stale = write_cached(NCAR_TEST_CONFIG, tmp_path, test_trace.iter_batches())
+    assert stale.manifest["generator_version"] == 2
+    monkeypatch.undo()
+
+    assert open_cached(NCAR_TEST_CONFIG, tmp_path) is None
+    fresh = open_or_generate(NCAR_TEST_CONFIG, tmp_path)
+    assert fresh.manifest["generator_version"] == GENERATOR_VERSION
+    assert fresh.path != stale.path  # the stale slot is simply unaddressed
+    assert fresh.n_events > 0
+
+
 def test_open_or_generate_generates_once(tmp_path, test_trace):
     store = open_or_generate(NCAR_TEST_CONFIG, tmp_path)
     assert store.n_events == test_trace.n_events

@@ -153,3 +153,74 @@ def test_cache_invariants_hold_under_any_workload(events, policy_name):
     assert metrics.reads + metrics.writes == len(events)
     assert metrics.read_hits + metrics.read_misses == metrics.reads
     assert metrics.compulsory_misses <= metrics.read_misses
+
+
+# ---------------------------------------------------------------------------
+# Batch splitting around degenerate sizes
+
+
+def _mixed_stream():
+    """Clean spans around two oversized events and a repeated bypass."""
+    stream = []
+    t = 0.0
+    for i in range(40):                       # clean span 1
+        stream.append((i % 7, 50, t, i % 3 == 0))
+        t += 1.0
+    stream.append((100, 5000, t, False))      # oversized read
+    t += 1.0
+    for i in range(40):                       # clean span 2
+        stream.append((i % 5, 60, t, i % 4 == 0))
+        t += 1.0
+    stream.append((100, 5000, t, True))       # oversized write
+    t += 1.0
+    for i in range(20):                       # clean span 3
+        stream.append((i % 3, 40, t, False))
+        t += 1.0
+    return stream
+
+
+def test_access_batch_split_matches_per_event():
+    """A batch with scattered oversized events must produce exactly the
+    per-event metrics and state (the split path is semantics-preserving)."""
+    stream = _mixed_stream()
+    columns = [list(col) for col in zip(*stream)]
+    batch_cache = _cache(capacity=1000, writeback_delay=50.0)
+    event_cache = _cache(capacity=1000, writeback_delay=50.0)
+    batch_cache.access_batch(*columns)
+    for fid, size, time, write in stream:
+        event_cache.access(fid, size, time, write)
+    assert batch_cache.metrics == event_cache.metrics
+    assert batch_cache.usage_bytes == event_cache.usage_bytes
+    assert batch_cache.metrics.bypassed_reads == 1
+    assert batch_cache.metrics.bypassed_writes == 1
+    batch_cache.check_invariants()
+
+
+def test_access_batch_split_keeps_fast_path_for_clean_spans(monkeypatch):
+    """Only the degenerate events drop to per-event handling: the clean
+    spans must run the buffered fast loop, not the scalar `_read` path."""
+
+    def _fail_read(self, *args, **kwargs):
+        raise AssertionError("clean events fell back to the scalar path")
+
+    monkeypatch.setattr(ManagedDiskCache, "_read", _fail_read)
+    cache = _cache(capacity=1000, writeback_delay=None)
+    stream = _mixed_stream()
+    cache.access_batch(*[list(col) for col in zip(*stream)])
+    assert cache.metrics.reads > 0
+    assert cache.metrics.bypassed_reads == 1
+
+
+def test_access_batch_split_raises_on_bad_size_after_prefix():
+    """A nonpositive size raises exactly where the per-event path would,
+    with every earlier event (including a clean span) already applied."""
+    cache = _cache(capacity=1000, writeback_delay=None)
+    with pytest.raises(ValueError, match="size must be positive"):
+        cache.access_batch(
+            [1, 2, 3], [10, -5, 20], [0.0, 1.0, 2.0], [True, False, False]
+        )
+    # The prefix landed; the bad event and its successors did not.
+    assert cache.metrics.writes == 1
+    assert cache.metrics.reads == 0
+    assert cache.is_resident(1)
+    assert cache.metrics.span_seconds == 0.0

@@ -125,3 +125,60 @@ def test_pack_sessions_group_keys_respected():
 def test_pack_sessions_empty():
     packed, sessions = pack_sessions(make_rng(0), np.empty(0), SessionConfig())
     assert packed.size == 0 and sessions.size == 0
+
+
+def test_pack_sessions_long_sessions_never_spill_their_hour():
+    """Regression: a session whose cumulative offsets run past the hour
+    edge must be clamped inside it -- the "events keep their hour"
+    contract protects Figures 4-6.  This config forces multi-minute
+    sessions (the scalar reference spills thousands of events on it)."""
+    from repro.workload.clustering import pack_sessions_scalar
+
+    config = SessionConfig(
+        mean_session_length=400.0, intra_gap_mean=30.0, intra_gap_cap=60.0
+    )
+    times = np.sort(make_rng(20).uniform(0, 3 * HOUR, size=4000))
+    packed, _ = pack_sessions(make_rng(21), times, config)
+    np.testing.assert_array_equal(
+        (packed // HOUR).astype(int), (times // HOUR).astype(int)
+    )
+    # The scalar reference demonstrates the bug being fixed.
+    spilled, _ = pack_sessions_scalar(make_rng(21), times, config)
+    assert ((spilled // HOUR).astype(int) != (times // HOUR).astype(int)).any()
+
+
+def test_pack_sessions_statistics_match_scalar_reference():
+    """Session sizes (geometric) and intra-session gap shape agree with
+    the per-hour-bin reference implementation within sampling noise."""
+    from repro.workload.clustering import pack_sessions_scalar
+
+    config = SessionConfig()
+    times = np.sort(make_rng(22).uniform(0, 48 * HOUR, size=30_000))
+
+    def stats(fn, seed):
+        packed, sessions = fn(make_rng(seed), times, config)
+        sizes = np.bincount(sessions - sessions.min())
+        sizes = sizes[sizes > 0]
+        gaps = np.diff(np.sort(packed))
+        return sizes.mean(), (gaps < 10.0).mean()
+
+    vec_mean, vec_frac = stats(pack_sessions, 23)
+    ref_mean, ref_frac = stats(pack_sessions_scalar, 24)
+    assert vec_mean == pytest.approx(ref_mean, rel=0.05)
+    assert vec_frac == pytest.approx(ref_frac, abs=0.03)
+    # Figure 7's headline: most system interarrivals are seconds apart.
+    assert vec_frac > 0.75
+
+
+def test_pack_sessions_interarrival_seconds_scale():
+    """Packed interarrivals follow the capped-exponential law: mean a few
+    seconds inside sessions, with the configured cap respected."""
+    config = SessionConfig()
+    times = np.sort(make_rng(25).uniform(0, HOUR, size=3000))
+    packed, sessions = pack_sessions(make_rng(26), times, config)
+    order = np.lexsort((packed, sessions))
+    same_session = sessions[order][1:] == sessions[order][:-1]
+    intra = np.diff(packed[order])[same_session]
+    assert intra.size > 1000
+    assert intra.max() <= config.intra_gap_cap + 1e-9
+    assert intra.mean() == pytest.approx(config.intra_gap_mean, rel=0.2)

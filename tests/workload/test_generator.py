@@ -154,3 +154,36 @@ def test_path_of_error_records(tiny_trace):
     if enoent.size:
         path = tiny_trace.path_of(int(enoent[0]))
         assert path.startswith("/lost/")
+
+
+def test_generator_version_is_3():
+    """The vectorized pipeline (placement / sessions / chain hour redraw)
+    reordered RNG consumption; v3 invalidates every v2 cached store."""
+    from repro.workload.generator import GENERATOR_VERSION
+
+    assert GENERATOR_VERSION == 3
+
+
+def test_stage_profiler_records_every_stage():
+    from repro.workload.profiler import StageProfiler
+
+    profiler = StageProfiler()
+    trace = generate_trace(
+        WorkloadConfig(scale=0.002, seed=5), profiler=profiler
+    )
+    expected = {
+        "namespace", "lifecycles", "chains", "bursts", "placement",
+        "sessions", "users", "errors", "latencies",
+    }
+    assert set(profiler.stages) == expected
+    assert all(seconds >= 0 for seconds in profiler.stages.values())
+    # The trace carries the same table for report/bench surfacing.
+    assert trace.stage_seconds == profiler.stages
+    rendered = profiler.render(indent="  ")
+    assert "chains" in rendered and "total" in rendered
+
+
+def test_stage_seconds_filled_without_explicit_profiler():
+    trace = generate_trace(WorkloadConfig(scale=0.002, seed=6))
+    assert trace.stage_seconds["placement"] >= 0
+    assert len(trace.stage_seconds) == 9
