@@ -14,11 +14,33 @@ read the saved bench output) to see the tables.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.core.experiments import ExperimentResult
 from repro.core.study import Study, StudyConfig
 from repro.workload.config import WorkloadConfig
+
+
+def dump_bench_timings(timings: dict) -> None:
+    """Merge measured timings into the ``REPRO_BENCH_TIMINGS`` JSON dump.
+
+    The one shared sink every throughput benchmark reports through (CI
+    uploads the file as a build artifact); a no-op when the variable is
+    unset.
+    """
+    path = os.environ.get("REPRO_BENCH_TIMINGS")
+    if not path:
+        return
+    existing = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    existing.update(timings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=1, sort_keys=True)
 
 
 @pytest.fixture(scope="session")

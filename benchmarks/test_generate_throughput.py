@@ -15,7 +15,6 @@ gate on noisy CI wall-clocks; ``REPRO_BENCH_TIMINGS=<path>`` dumps the
 measured timings as JSON (CI uploads them as a build artifact).
 """
 
-import json
 import os
 import time
 
@@ -40,17 +39,7 @@ DENSE_CONFIG = StudyConfig.dense(scale=0.02, seed=42, days=14.62).workload
 MIN_SPEEDUP = 4.0
 
 
-def _dump_timings(timings):
-    path = os.environ.get("REPRO_BENCH_TIMINGS")
-    if not path:
-        return
-    existing = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-    existing.update(timings)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(existing, handle, indent=1, sort_keys=True)
+from conftest import dump_bench_timings as _dump_timings  # noqa: E402
 
 
 def test_vectorized_cold_generation_4x_scalar_stages():

@@ -17,7 +17,6 @@ speed never comes at the cost of the numbers.  Set
 uploads them as a build artifact).
 """
 
-import json
 import os
 import time
 
@@ -78,17 +77,7 @@ def _analyze(batches_factory):
     }
 
 
-def _dump_timings(timings):
-    path = os.environ.get("REPRO_BENCH_TIMINGS")
-    if not path:
-        return
-    existing = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
-    existing.update(timings)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(existing, handle, indent=1, sort_keys=True)
+from conftest import dump_bench_timings as _dump_timings  # noqa: E402
 
 
 def test_store_cold_write_and_warm_reuse(cache_dir):

@@ -44,6 +44,10 @@ from repro.analysis.periodicity import (
     rate_series,
     rate_series_from_batches,
 )
+from repro.analysis.tenants import (
+    TenantBreakdown,
+    tenant_breakdown_from_batches,
+)
 from repro.analysis.rates import (
     RateProfile,
     holiday_read_dip,
@@ -141,6 +145,8 @@ __all__ = [
     "storage_pyramid",
     "system_interarrivals",
     "system_interarrivals_from_batches",
+    "TenantBreakdown",
+    "tenant_breakdown_from_batches",
     "time_to_last_byte",
     "trace_format_table",
     "verbose_log_sample",

@@ -1,0 +1,169 @@
+"""Per-tenant breakdown of Table-3-style metrics for composed scenarios.
+
+One pass over a composed :class:`~repro.engine.batch.EventBatch` stream,
+splitting every batch by the compositor's id-remapping contract
+(``tenant rank = file_id % k``) and folding each tenant's slice into its
+own :class:`~repro.analysis.accumulators.OverallAccumulator`.  Memory is
+one accumulator per tenant; the merged event list is never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+from repro.analysis.accumulators import OverallAccumulator
+from repro.analysis.render import TextTable
+from repro.trace.record import Device
+from repro.trace.stats import TraceStatistics
+
+if TYPE_CHECKING:
+    from repro.engine.batch import EventBatch
+
+_DEVICE_SHORT = {
+    Device.MSS_DISK: "disk",
+    Device.TAPE_SILO: "silo",
+    Device.TAPE_SHELF: "shelf",
+}
+
+
+@dataclass
+class TenantBreakdown:
+    """Table-3-style statistics per tenant of one composed stream."""
+
+    labels: List[str]
+    stats: Dict[str, TraceStatistics]
+
+    def tenant(self, label: str) -> TraceStatistics:
+        """One tenant's accumulated statistics."""
+        return self.stats[label]
+
+    def render(self, title: str = "Per-tenant overall statistics") -> str:
+        """One row per tenant (plus a total row when multi-tenant)."""
+        table = TextTable(
+            [
+                "tenant",
+                "refs",
+                "read share",
+                "GB moved",
+                "avg MB",
+                "disk/silo/shelf",
+                "errors",
+            ],
+            title=title,
+        )
+        for label in self.labels + (["total"] if len(self.labels) > 1 else []):
+            stats = (
+                self.stats[label]
+                if label in self.stats
+                else _merged_statistics(self.stats.values())
+            )
+            total = stats.grand_total()
+            reads = stats.direction_total(False)
+            refs = max(total.references, 1)
+            shares = "/".join(
+                f"{stats.device_total(device).references / refs:.0%}"
+                for device in Device.storage_devices()
+            )
+            table.add_row(
+                label,
+                total.references,
+                f"{reads.references / refs:.2f}",
+                f"{total.gb_transferred:,.1f}",
+                f"{total.avg_file_size_mb:.1f}",
+                shares,
+                f"{stats.error_fraction:.2%}",
+            )
+        return table.render()
+
+
+def _merged_statistics(parts: Iterable[TraceStatistics]) -> TraceStatistics:
+    """Whole-stream statistics from per-tenant parts (the total row)."""
+    merged = TraceStatistics()
+    for stats in parts:
+        merged.raw_references += stats.raw_references
+        for kind, count in stats.error_counts.items():
+            merged.error_counts[kind] = merged.error_counts.get(kind, 0) + count
+        for device in Device.storage_devices():
+            for direction in (False, True):
+                cell = stats.cell(device, direction)
+                if cell.references == 0:
+                    continue
+                target = merged._cells.setdefault(
+                    (device, direction), type(cell)()
+                )
+                target.merge(cell)
+        for stamp in (stats.first_start, stats.last_start):
+            if stamp is None:
+                continue
+            if merged.first_start is None or stamp < merged.first_start:
+                merged.first_start = stamp
+            if merged.last_start is None or stamp > merged.last_start:
+                merged.last_start = stamp
+    return merged
+
+
+def render_scenario_comparison(
+    breakdowns: Dict[str, "TenantBreakdown"],
+    title: str = "Scenario comparison (per tenant)",
+) -> str:
+    """One per-scenario, per-tenant metrics table (``scenario compare``)."""
+    table = TextTable(
+        ["scenario", "tenant", "refs", "read share", "GB moved", "avg MB",
+         "disk/silo/shelf"],
+        title=title,
+    )
+    for scenario, breakdown in breakdowns.items():
+        for label in breakdown.labels:
+            stats = breakdown.stats[label]
+            total = stats.grand_total()
+            reads = stats.direction_total(False)
+            refs = max(total.references, 1)
+            shares = "/".join(
+                f"{stats.device_total(device).references / refs:.0%}"
+                for device in Device.storage_devices()
+            )
+            table.add_row(
+                scenario,
+                label,
+                total.references,
+                f"{reads.references / refs:.2f}",
+                f"{total.gb_transferred:,.1f}",
+                f"{total.avg_file_size_mb:.1f}",
+                shares,
+            )
+    return table.render()
+
+
+def tenant_breakdown_from_batches(
+    batches: Iterable["EventBatch"], labels: Sequence[str]
+) -> TenantBreakdown:
+    """Fold a composed raw stream into per-tenant Table-3 statistics.
+
+    ``labels`` is the compositor's rank-ordered tenant list; with a
+    single label the whole stream is attributed to it (the degenerate
+    one-tenant scenario and plain traces both work).
+    """
+    labels = list(labels)
+    if not labels:
+        raise ValueError("need at least one tenant label")
+    k = len(labels)
+    accumulators = [OverallAccumulator() for _ in labels]
+    for batch in batches:
+        if not len(batch):
+            continue
+        if k == 1:
+            accumulators[0].add(batch)
+            continue
+        ranks = batch.file_id % k
+        for rank in range(k):
+            part = batch.select(ranks == rank)
+            if len(part):
+                accumulators[rank].add(part)
+    return TenantBreakdown(
+        labels=labels,
+        stats={
+            label: accumulator.statistics()
+            for label, accumulator in zip(labels, accumulators)
+        },
+    )

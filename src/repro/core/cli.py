@@ -10,6 +10,7 @@ Subcommands::
     report     run the full experiment suite and print every comparison
     bench      cold-generation benchmark + per-stage profile table
     trace      columnar trace-store utilities (info / import / verify)
+    scenario   declarative workloads (list / show / run / compare)
 
 A ``--cache-dir`` (or ``--store``) points at the content-addressed
 columnar trace store (:mod:`repro.engine.store`): generate once, analyze
@@ -176,6 +177,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         duration_days=args.days,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        scenarios=tuple(
+            part for part in (args.scenarios or "").split(",") if part
+        ),
     )
     result = run_sweep(config)
     print(result.render())
@@ -310,6 +314,130 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_spec(args: argparse.Namespace, name: Optional[str] = None):
+    """The spec one scenario command addresses: a file, or a library name."""
+    from repro.scenarios.library import build_scenario
+    from repro.scenarios.spec import ScenarioSpec
+
+    if getattr(args, "spec", None):
+        return ScenarioSpec.from_file(args.spec)
+    return build_scenario(
+        name if name is not None else args.name,
+        scale=args.scale,
+        seed=args.seed,
+        days=args.days,
+    )
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.analysis.render import TextTable
+    from repro.scenarios.library import describe_scenarios
+
+    table = TextTable(
+        ["name", "tenants", "description"], title="Built-in scenarios"
+    )
+    for row in describe_scenarios():
+        table.add_row(
+            row["name"], ", ".join(row["tenants"]), row["description"]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        spec = _scenario_spec(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"scenario show: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(spec.to_dict(), indent=1, sort_keys=True))
+        return 0
+    print(f"scenario:  {spec.name}")
+    print(f"hash:      {spec.scenario_hash()}")
+    print(f"seed:      {spec.seed}")
+    if spec.description:
+        print(f"about:     {spec.description}")
+    print(f"tenants:   {', '.join(spec.tenants)}")
+    for component in spec.ordered_components():
+        config = spec.derived_config(component.name)
+        window = (
+            f"day {component.start_day:g}+"
+            if component.start_day
+            else "full span"
+        )
+        envelope = component.envelope
+        active = (
+            "always"
+            if envelope.is_constant
+            else f"{envelope.hour_start:g}-{envelope.hour_end:g}h daily "
+            f"(floor {envelope.floor:g})"
+        )
+        print(
+            f"  {component.name}: share {component.share:.0%}, "
+            f"scale {config.scale:g}, seed {config.seed}, "
+            f"{config.duration_seconds / DAY:.1f} days, {window}, {active}"
+        )
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.analysis.tenants import tenant_breakdown_from_batches
+    from repro.scenarios.compositor import ScenarioCompositor
+
+    try:
+        spec = _scenario_spec(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"scenario run: {exc}", file=sys.stderr)
+        return 1
+    compositor = ScenarioCompositor(spec, cache_dir=args.cache_dir)
+    if args.cache_dir is not None:
+        # Persist the composed stream too (scenario-hash addressed):
+        # repeat runs then memmap one store instead of re-merging, and
+        # `repro trace info` on it shows the tenant metadata.
+        from repro.scenarios.cache import compose_cached
+
+        store = compose_cached(spec, args.cache_dir)
+        batches = store.iter_batches()
+        source = f"store {store.path}"
+    else:
+        batches = compositor.iter_batches()
+        source = "streamed composition"
+    breakdown = tenant_breakdown_from_batches(batches, compositor.labels)
+    print(f"scenario {spec.name}: {', '.join(compositor.labels)} ({source})")
+    print()
+    print(
+        breakdown.render(
+            title=f"Per-tenant overall statistics: {spec.name}"
+        )
+    )
+    return 0
+
+
+def _cmd_scenario_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.tenants import (
+        render_scenario_comparison,
+        tenant_breakdown_from_batches,
+    )
+    from repro.scenarios.compositor import ScenarioCompositor
+
+    breakdowns = {}
+    for name in args.names:
+        try:
+            spec = _scenario_spec(args, name=name)
+        except (KeyError, ValueError) as exc:
+            print(f"scenario compare: {exc}", file=sys.stderr)
+            return 1
+        compositor = ScenarioCompositor(spec, cache_dir=args.cache_dir)
+        breakdowns[name] = tenant_breakdown_from_batches(
+            compositor.iter_batches(), compositor.labels
+        )
+    print(render_scenario_comparison(breakdowns))
+    return 0
+
+
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     from repro.engine.store import StoreError, TraceStore
 
@@ -417,6 +545,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist per-seed prepared-stream stores here "
                    "(default: a per-run temporary directory)")
+    p.add_argument("--scenarios", default=None,
+                   help="comma-separated built-in scenario names: sweep "
+                   "policies x scenarios instead of the single workload")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")
@@ -448,6 +579,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the pytest benchmark suite from this "
                    "directory (default: benchmarks)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "scenario",
+        help="declarative workload scenarios (list / show / run / compare)",
+    )
+    scenario_sub = p.add_subparsers(dest="scenario_command", required=True)
+
+    s = scenario_sub.add_parser("list", help="name every built-in archetype")
+    s.set_defaults(func=_cmd_scenario_list)
+
+    s = scenario_sub.add_parser("show", help="print one scenario's spec")
+    _add_scale_args(s)
+    s.add_argument("name", nargs="?", default=None,
+                   help="built-in scenario name (or use --spec FILE)")
+    s.add_argument("--spec", default=None, metavar="FILE",
+                   help="load the spec from a JSON/YAML file instead")
+    s.add_argument("--json", action="store_true",
+                   help="dump the spec as JSON (loadable with --spec)")
+    s.set_defaults(func=_cmd_scenario_show)
+
+    s = scenario_sub.add_parser(
+        "run", help="compose a scenario and print per-tenant statistics"
+    )
+    _add_scale_args(s)
+    s.add_argument("name", nargs="?", default=None,
+                   help="built-in scenario name (or use --spec FILE)")
+    s.add_argument("--spec", default=None, metavar="FILE",
+                   help="load the spec from a JSON/YAML file instead")
+    s.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed store cache: per-component "
+                   "streams and the composed stream persist here")
+    s.set_defaults(func=_cmd_scenario_run)
+
+    s = scenario_sub.add_parser(
+        "compare",
+        help="per-scenario, per-tenant metrics table for several archetypes",
+    )
+    _add_scale_args(s)
+    s.add_argument("names", nargs="+", help="built-in scenario names")
+    s.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed store cache for component streams")
+    s.set_defaults(func=_cmd_scenario_compare)
 
     p = sub.add_parser("trace", help="columnar trace-store utilities")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

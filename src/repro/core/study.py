@@ -32,7 +32,9 @@ from repro.workload.config import WorkloadConfig
 from repro.workload.generator import SyntheticTrace, generate_trace
 
 if TYPE_CHECKING:
+    from repro.analysis.tenants import TenantBreakdown
     from repro.engine.batch import EventBatch
+    from repro.scenarios.spec import ScenarioSpec
 
 #: Stream views :meth:`Study.iter_batches` can produce.
 BATCH_KINDS = ("raw", "good", "deduped")
@@ -54,6 +56,12 @@ class StudyConfig:
     #: touching :attr:`Study.trace` (Table 4, record views, prepared HSM
     #: streams) still generates on first use.
     cache_dir: Optional[str] = None
+    #: Composed multi-tenant workload.  When set, the study's stream is
+    #: the scenario compositor's k-way merge of every component (each
+    #: generated -- or served from the ``cache_dir`` store -- under its
+    #: spec-derived seed) and ``workload`` is ignored; per-tenant
+    #: breakdowns come from :meth:`Study.tenant_breakdown`.
+    scenario: Optional["ScenarioSpec"] = None
 
     @staticmethod
     def dense(scale: float = 0.02, seed: int = 42, days: float = 16.0) -> "StudyConfig":
@@ -75,11 +83,19 @@ class Study:
 
     def __init__(self, config: Optional[StudyConfig] = None) -> None:
         self.config = config or StudyConfig()
+        if self.config.scenario is not None and self.config.simulate_latencies:
+            raise ValueError(
+                "scenario studies carry analytic latencies from their "
+                "components; simulate_latencies is not supported with a "
+                "scenario"
+            )
         self._trace: Optional[SyntheticTrace] = None
         self._records: Optional[List[TraceRecord]] = None
         self._replayed: Optional[Tuple[List["EventBatch"], MetricsCollector]] = None
         self._batches: dict = {}
         self._store = None
+        self._scenario_batches: Optional[List["EventBatch"]] = None
+        self._scenario_store = None
 
     # ------------------------------------------------------------------
     # Lazily produced artifacts
@@ -87,6 +103,12 @@ class Study:
     @property
     def trace(self) -> SyntheticTrace:
         """The synthetic trace (generated on first use)."""
+        if self.config.scenario is not None:
+            raise ValueError(
+                "a scenario study composes several component traces and "
+                "has no single SyntheticTrace/namespace; use iter_batches, "
+                "event_batches or tenant_breakdown instead"
+            )
         if self._trace is None:
             self._trace = generate_trace(self.config.workload)
         return self._trace
@@ -135,8 +157,10 @@ class Study:
 
         if kind not in BATCH_KINDS:
             raise ValueError(f"unknown batch kind {kind!r}; choose from {BATCH_KINDS}")
-        if self.config.simulate_latencies:
-            base: Iterator["EventBatch"] = iter(self._replayed_batches())
+        if self.config.scenario is not None:
+            base: Iterator["EventBatch"] = self._scenario_base()
+        elif self.config.simulate_latencies:
+            base = iter(self._replayed_batches())
         elif self.config.cache_dir is not None:
             base = self.trace_store().iter_batches()
         else:
@@ -147,6 +171,31 @@ class Study:
         if kind == "good":
             return good
         return dedupe_blocks(good)
+
+    def _scenario_base(self) -> Iterator["EventBatch"]:
+        """The composed scenario stream, composed at most once.
+
+        With a ``cache_dir`` the composed store is written once
+        (scenario-hash addressed) and every pass streams its memmapped
+        shards; without one the merged batches are kept in memory after
+        the first composition -- the scenario analogue of the plain
+        study holding its generated trace arrays.
+        """
+        if self.config.cache_dir is not None:
+            if self._scenario_store is None:
+                from repro.scenarios.cache import compose_cached
+
+                self._scenario_store = compose_cached(
+                    self.config.scenario, self.config.cache_dir
+                )
+            return self._scenario_store.iter_batches()
+        if self._scenario_batches is None:
+            from repro.scenarios.compositor import compose
+
+            self._scenario_batches = [
+                batch for batch in compose(self.config.scenario) if len(batch)
+            ]
+        return iter(self._scenario_batches)
 
     @property
     def mss_metrics(self) -> MetricsCollector:
@@ -165,13 +214,46 @@ class Study:
         """The trace's HSM reference stream as prepared engine batches.
 
         Cached per dedupe flag: Section 6 experiments replay the same
-        stream against many policies and capacities.
+        stream against many policies and capacities.  ``deduped`` is a
+        strict flag -- passing a stream-kind string here (a common mixup
+        with :meth:`iter_batches`) raises instead of silently preparing
+        the truthy default.
         """
         from repro.engine.replay import prepare_stream
+        from repro.engine.stream import collect, hsm_batches_from_stream
 
+        if not isinstance(deduped, bool):
+            raise ValueError(
+                f"event_batches takes deduped=True/False, got {deduped!r}; "
+                f"for stream views use iter_batches(kind) with kind in "
+                f"{BATCH_KINDS}"
+            )
         if deduped not in self._batches:
-            self._batches[deduped] = prepare_stream(self.trace, deduped=deduped)
+            if self.config.scenario is not None:
+                self._batches[deduped] = collect(
+                    hsm_batches_from_stream(
+                        self.iter_batches("raw"), deduped=deduped
+                    )
+                )
+            else:
+                self._batches[deduped] = prepare_stream(self.trace, deduped=deduped)
         return self._batches[deduped]
+
+    def tenant_breakdown(self) -> "TenantBreakdown":
+        """Per-tenant Table-3-style statistics of the raw stream.
+
+        For scenario studies the split follows the compositor's
+        id-remapping contract; a plain study is reported as the single
+        tenant ``"all"``.
+        """
+        from repro.analysis.tenants import tenant_breakdown_from_batches
+
+        labels = (
+            self.config.scenario.tenants
+            if self.config.scenario is not None
+            else ["all"]
+        )
+        return tenant_breakdown_from_batches(self.iter_batches("raw"), labels)
 
     # ------------------------------------------------------------------
     # Record views (compatibility wrappers over the batch streams)

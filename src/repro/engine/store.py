@@ -261,6 +261,11 @@ class TraceStore:
         return None if value is None else int(value)
 
     @property
+    def meta(self) -> dict:
+        """Free-form manifest metadata (empty for pre-metadata stores)."""
+        return self.manifest.get("meta") or {}
+
+    @property
     def span_seconds(self) -> float:
         """Trace time span covered by the stored events."""
         first = self.manifest.get("time_first")
@@ -334,6 +339,19 @@ class TraceStore:
         ]
         if self.total_bytes is not None:
             lines.append(f"referenced: {self.total_bytes / 1e9:.2f} GB")
+        scenario = self.meta.get("scenario")
+        if isinstance(scenario, dict):
+            # Composed scenario stores carry tenant metadata; stores from
+            # before the scenario subsystem simply have no block here.
+            tenants = scenario.get("tenants") or []
+            lines.append(
+                f"scenario:  {scenario.get('name')} "
+                f"({scenario.get('hash', '')[:16]}...)"
+            )
+            lines.append(
+                f"tenants:   {', '.join(str(t) for t in tenants) or '(unknown)'} "
+                f"(file_id % {scenario.get('n_components', len(tenants))} -> rank)"
+            )
         lines.append("shard checksums:")
         for shard in m["shards"]:
             first = shard["checksums"][self.columns[0]]
@@ -369,27 +387,30 @@ def open_cached(
     return store
 
 
-def write_cached(
-    config,
-    cache_dir: Union[str, Path],
+def write_locked_dir(
+    cache_dir: Path,
+    target: Path,
     batches: Iterable[EventBatch],
     *,
+    config=None,
     variant: str = "trace",
     total_bytes: Optional[int] = None,
     meta: Optional[dict] = None,
+    reopen=None,
 ) -> TraceStore:
-    """Write a stream into the cache slot for (config, variant), atomically.
+    """Write a stream into ``target`` atomically via a staging directory.
 
     The store is assembled in a sibling temp directory and renamed into
     place, so a concurrent reader never sees a half-written store.  If
-    the slot is already occupied, a *valid* occupant is kept and
-    reopened (a concurrent writer won the race); an invalid one (crash
-    debris, bit rot) is evicted and replaced, so a corrupt slot never
-    wedges the cache.
+    the slot is already occupied, ``reopen`` decides: a *valid* occupant
+    (``reopen()`` returns a store) is kept -- a concurrent writer won the
+    race -- while an invalid one (crash debris, bit rot) is evicted and
+    replaced, so a corrupt slot never wedges the cache.  Shared by the
+    config-addressed cache below and the scenario-hash-addressed cache in
+    :mod:`repro.scenarios.cache`.
     """
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
-    target = store_dir_for(cache_dir, config, variant)
     staging = Path(
         tempfile.mkdtemp(prefix=f".tmp-{target.name}-", dir=str(cache_dir))
     )
@@ -405,7 +426,7 @@ def write_cached(
         try:
             os.replace(staging, target)
         except OSError:
-            winner = open_cached(config, cache_dir, variant)
+            winner = reopen() if reopen is not None else None
             if winner is not None:
                 shutil.rmtree(staging, ignore_errors=True)
                 return winner
@@ -415,6 +436,29 @@ def write_cached(
         shutil.rmtree(staging, ignore_errors=True)
         raise
     return TraceStore.open(target)
+
+
+def write_cached(
+    config,
+    cache_dir: Union[str, Path],
+    batches: Iterable[EventBatch],
+    *,
+    variant: str = "trace",
+    total_bytes: Optional[int] = None,
+    meta: Optional[dict] = None,
+) -> TraceStore:
+    """Write a stream into the cache slot for (config, variant), atomically."""
+    cache_dir = Path(cache_dir)
+    return write_locked_dir(
+        cache_dir,
+        store_dir_for(cache_dir, config, variant),
+        batches,
+        config=config,
+        variant=variant,
+        total_bytes=total_bytes,
+        meta=meta,
+        reopen=lambda: open_cached(config, cache_dir, variant),
+    )
 
 
 def cache_trace(trace, cache_dir: Union[str, Path]) -> TraceStore:

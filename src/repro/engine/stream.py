@@ -104,7 +104,21 @@ def hsm_event_batches(
     the eight-hour dedupe is applied (migration decisions would not see
     batch-script re-requests, Section 6).
     """
-    batches = strip_errors(trace.iter_batches(chunk_size=chunk_size))
+    return hsm_batches_from_stream(
+        trace.iter_batches(chunk_size=chunk_size), deduped=deduped
+    )
+
+
+def hsm_batches_from_stream(
+    batches: Iterable[EventBatch], deduped: bool = True
+) -> Iterator[EventBatch]:
+    """The HSM reference stream of *any* raw batch stream.
+
+    The trace-independent core of :func:`hsm_event_batches`: works for a
+    generated trace's batches, a store's memmapped shards, or a composed
+    multi-tenant scenario stream.
+    """
+    batches = strip_errors(batches)
     if deduped:
         batches = dedupe_blocks(batches)
     for batch in batches:

@@ -46,6 +46,12 @@ class SweepConfig:
     #: temporary directory (prepared streams still go through the store
     #: so workers memmap instead of unpickling).
     cache_dir: Optional[str] = None
+    #: Built-in scenario archetypes to sweep policies against.  Empty
+    #: means the classic single-workload grid; otherwise the grid is
+    #: scenarios x seeds x policies x capacities, each scenario's
+    #: composed HSM stream prepared once per seed (content-addressed by
+    #: scenario hash) and replayed against every (policy, capacity) cell.
+    scenarios: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         from repro.migration.registry import available_policies
@@ -64,11 +70,35 @@ class SweepConfig:
             raise ValueError("need at least one seed")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.scenarios:
+            from repro.scenarios.library import scenario_names
+
+            known_scenarios = set(scenario_names())
+            unknown = [
+                name for name in self.scenarios if name not in known_scenarios
+            ]
+            if unknown:
+                raise ValueError(
+                    f"unknown scenarios {unknown}; "
+                    f"choose from {sorted(known_scenarios)}"
+                )
+
+    @property
+    def stream_keys(self) -> Tuple[Tuple[Optional[str], int], ...]:
+        """(scenario or None, seed) pairs: one prepared stream each."""
+        scenarios: Tuple[Optional[str], ...] = self.scenarios or (None,)
+        return tuple(
+            (scenario, seed) for scenario in scenarios for seed in self.seeds
+        )
 
     @property
     def n_cells(self) -> int:
         """Number of grid cells."""
-        return len(self.policies) * len(self.capacity_fractions) * len(self.seeds)
+        return (
+            len(self.policies)
+            * len(self.capacity_fractions)
+            * len(self.stream_keys)
+        )
 
 
 def log_spaced_fractions(
@@ -85,6 +115,10 @@ def log_spaced_fractions(
     return tuple(low * ratio**i for i in range(count))
 
 
+#: One prepared stream's identity: (scenario name or None, seed).
+StreamKey = Tuple[Optional[str], int]
+
+
 @dataclass(frozen=True)
 class SweepRow:
     """One replayed grid cell."""
@@ -94,6 +128,8 @@ class SweepRow:
     capacity_fraction: float
     capacity_bytes: int
     metrics: HSMMetrics
+    #: Scenario the cell replayed, None for the classic workload grid.
+    scenario: Optional[str] = None
 
 
 @dataclass
@@ -104,18 +140,22 @@ class SweepResult:
     rows: List[SweepRow]
     prepare_seconds: float
     replay_seconds: float
-    total_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Referenced-store bytes per prepared stream key (scenario, seed).
+    total_bytes: Dict["StreamKey", int] = field(default_factory=dict)
 
     @property
     def elapsed_seconds(self) -> float:
         """Total wall-clock (stream preparation + parallel replay)."""
         return self.prepare_seconds + self.replay_seconds
 
-    def aggregated(self) -> Dict[Tuple[str, float], HSMMetrics]:
-        """Seed-summed metrics per (policy, capacity fraction) cell.
+    def aggregated(self) -> Dict[tuple, HSMMetrics]:
+        """Seed-summed metrics per grid cell.
 
-        Every counter field sums across seeds; ``span_seconds`` is a
-        duration, so the grid cell keeps the longest seed's span.
+        Keys are ``(policy, capacity_fraction)`` for the classic
+        single-workload grid and ``(scenario, policy, capacity_fraction)``
+        when the sweep covered scenarios.  Every counter field sums
+        across seeds; ``span_seconds`` is a duration, so the grid cell
+        keeps the longest seed's span.
         """
         import dataclasses
 
@@ -124,9 +164,11 @@ class SweepResult:
             for field in dataclasses.fields(HSMMetrics)
             if field.name != "span_seconds"
         ]
-        merged: Dict[Tuple[str, float], HSMMetrics] = {}
+        merged: Dict[tuple, HSMMetrics] = {}
         for row in self.rows:
-            key = (row.policy, row.capacity_fraction)
+            key: tuple = (row.policy, row.capacity_fraction)
+            if row.scenario is not None:
+                key = (row.scenario,) + key
             bucket = merged.setdefault(key, HSMMetrics())
             for name in counter_names:
                 setattr(bucket, name, getattr(bucket, name) + getattr(row.metrics, name))
@@ -137,26 +179,41 @@ class SweepResult:
         """The Section 6 comparison table over the whole grid."""
         from repro.analysis.render import TextTable
 
+        scenarios = self.config.scenarios
+        headers = ["policy", "capacity", "miss ratio", "capacity-miss",
+                   "person-min/day"]
+        if scenarios:
+            headers.insert(0, "scenario")
         table = TextTable(
-            ["policy", "capacity", "miss ratio", "capacity-miss", "person-min/day"],
+            headers,
             title=(
                 f"Section 6 sweep: {len(self.config.policies)} policies x "
                 f"{len(self.config.capacity_fractions)} capacities x "
-                f"{len(self.config.seeds)} seeds (scale {self.config.scale})"
+                + (f"{len(scenarios)} scenarios x " if scenarios else "")
+                + f"{len(self.config.seeds)} seeds (scale {self.config.scale})"
             ),
         )
         merged = self.aggregated()
-        for policy in self.config.policies:
-            for fraction in self.config.capacity_fractions:
-                metrics = merged[(policy, fraction)]
-                per_seed = metrics.person_minutes_per_day() / len(self.config.seeds)
-                table.add_row(
-                    policy,
-                    f"{fraction:.3%}",
-                    f"{metrics.read_miss_ratio:.4f}",
-                    f"{metrics.capacity_miss_ratio:.4f}",
-                    f"{per_seed:.2f}",
-                )
+        for scenario in scenarios or (None,):
+            for policy in self.config.policies:
+                for fraction in self.config.capacity_fractions:
+                    key: tuple = (policy, fraction)
+                    if scenario is not None:
+                        key = (scenario,) + key
+                    metrics = merged[key]
+                    per_seed = (
+                        metrics.person_minutes_per_day() / len(self.config.seeds)
+                    )
+                    cells = [
+                        policy,
+                        f"{fraction:.3%}",
+                        f"{metrics.read_miss_ratio:.4f}",
+                        f"{metrics.capacity_miss_ratio:.4f}",
+                        f"{per_seed:.2f}",
+                    ]
+                    if scenario is not None:
+                        cells.insert(0, scenario)
+                    table.add_row(*cells)
         lines = [table.render()]
         lines.append(
             f"prepare {self.prepare_seconds:.1f}s + replay {self.replay_seconds:.1f}s "
@@ -168,43 +225,44 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 # Worker side
 
-#: seed -> (store path, referenced-store bytes).  The initializer payload
-#: is strings and ints only -- never arrays: each worker memory-maps the
-#: shared shards on first use, so the OS page cache holds one copy of
-#: every seed's stream regardless of worker count.
-_WORKER_STORES: Dict[int, Tuple[str, int]] = {}
+#: (scenario, seed) -> (store path, referenced-store bytes).  The
+#: initializer payload is strings and ints only -- never arrays: each
+#: worker memory-maps the shared shards on first use, so the OS page
+#: cache holds one copy of every stream regardless of worker count.
+_WORKER_STORES: Dict[StreamKey, Tuple[str, int]] = {}
 
-#: Per-process memmapped batch lists, opened lazily per seed.
-_WORKER_BATCHES: Dict[int, List[EventBatch]] = {}
+#: Per-process memmapped batch lists, opened lazily per stream key.
+_WORKER_BATCHES: Dict[StreamKey, List[EventBatch]] = {}
 
 
-def _init_worker(stores: Dict[int, Tuple[str, int]]) -> None:
+def _init_worker(stores: Dict[StreamKey, Tuple[str, int]]) -> None:
     global _WORKER_STORES, _WORKER_BATCHES
     _WORKER_STORES = stores
     _WORKER_BATCHES = {}
 
 
-def _open_stream(seed: int) -> Tuple[List[EventBatch], int]:
-    """Memmapped batches (cached per process) for one seed's store."""
-    path, total_bytes = _WORKER_STORES[seed]
-    batches = _WORKER_BATCHES.get(seed)
+def _open_stream(key: StreamKey) -> Tuple[List[EventBatch], int]:
+    """Memmapped batches (cached per process) for one stream's store."""
+    path, total_bytes = _WORKER_STORES[key]
+    batches = _WORKER_BATCHES.get(key)
     if batches is None:
         batches = TraceStore.open(path).batches()
-        _WORKER_BATCHES[seed] = batches
+        _WORKER_BATCHES[key] = batches
     return batches, total_bytes
 
 
-def _run_cell(task: Tuple[int, str, float, Optional[float]]) -> SweepRow:
-    seed, _, _, _ = task
-    return _run_cell_with({seed: _open_stream(seed)}, task)
+def _run_cell(task: Tuple[StreamKey, str, float, Optional[float]]) -> SweepRow:
+    key, _, _, _ = task
+    return _run_cell_with({key: _open_stream(key)}, task)
 
 
 def _run_cell_with(
-    streams: Dict[int, Tuple[List[EventBatch], int]],
-    task: Tuple[int, str, float, Optional[float]],
+    streams: Dict[StreamKey, Tuple[List[EventBatch], int]],
+    task: Tuple[StreamKey, str, float, Optional[float]],
 ) -> SweepRow:
-    seed, policy, fraction, writeback_delay = task
-    batches, total_bytes = streams[seed]
+    key, policy, fraction, writeback_delay = task
+    scenario, seed = key
+    batches, total_bytes = streams[key]
     capacity = max(int(total_bytes * fraction), 1)
     metrics = replay_policy(
         batches, policy, capacity, writeback_delay=writeback_delay
@@ -215,6 +273,7 @@ def _run_cell_with(
         capacity_fraction=fraction,
         capacity_bytes=capacity,
         metrics=metrics,
+        scenario=scenario,
     )
 
 
@@ -231,25 +290,49 @@ def _seed_config(config: SweepConfig, seed: int):
     return WorkloadConfig(**kwargs)
 
 
-def _prepare_stores(config: SweepConfig, cache_dir: str) -> Dict[int, Tuple[str, int]]:
-    """Per-seed prepared-stream stores: seed -> (path, referenced bytes).
+def _prepare_stores(
+    config: SweepConfig, cache_dir: str
+) -> Dict[StreamKey, Tuple[str, int]]:
+    """Per-stream prepared stores: (scenario, seed) -> (path, bytes).
 
-    The returned payload is what the pool initializer ships to workers,
-    so it must stay plain strings and ints -- no ndarrays (the whole
-    point of the store is that workers memmap instead of unpickling).
+    Classic cells prepare the single-workload HSM stream
+    (config-addressed); scenario cells compose the archetype's
+    multi-tenant stream through the scenario cache (scenario-hash
+    addressed, with per-component stores shared underneath).  The
+    returned payload is what the pool initializer ships to workers, so
+    it must stay plain strings and ints -- no ndarrays (the whole point
+    of the store is that workers memmap instead of unpickling).
     """
-    stores: Dict[int, Tuple[str, int]] = {}
-    for seed in config.seeds:
-        store = open_or_generate(
-            _seed_config(config, seed),
-            cache_dir,
-            variant="hsm",
-            chunk_size=config.chunk_size,
-        )
+    stores: Dict[StreamKey, Tuple[str, int]] = {}
+    for key in config.stream_keys:
+        scenario, seed = key
+        if scenario is None:
+            store = open_or_generate(
+                _seed_config(config, seed),
+                cache_dir,
+                variant="hsm",
+                chunk_size=config.chunk_size,
+            )
+        else:
+            from repro.scenarios.cache import compose_cached
+            from repro.scenarios.library import build_scenario
+
+            spec = build_scenario(
+                scenario,
+                scale=config.scale,
+                seed=seed,
+                days=config.duration_days,
+            )
+            store = compose_cached(
+                spec,
+                cache_dir,
+                variant="scenario-hsm",
+                chunk_size=config.chunk_size,
+            )
         total = store.total_bytes
         if total is None:
             raise ValueError(f"store {store.path} lacks referenced-store bytes")
-        stores[seed] = (str(store.path), total)
+        stores[key] = (str(store.path), total)
     return stores
 
 
@@ -267,8 +350,8 @@ def run_sweep(config: SweepConfig) -> SweepResult:
         prepared = _time.perf_counter()
 
         tasks = [
-            (seed, policy, fraction, config.writeback_delay)
-            for seed in config.seeds
+            (key, policy, fraction, config.writeback_delay)
+            for key in config.stream_keys
             for policy in config.policies
             for fraction in config.capacity_fractions
         ]
@@ -276,8 +359,8 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             # Open in-process; memmapped batches stay locals so nothing
             # pins every seed's pages for the process lifetime.
             opened = {
-                seed: (TraceStore.open(path).batches(), total)
-                for seed, (path, total) in stores.items()
+                key: (TraceStore.open(path).batches(), total)
+                for key, (path, total) in stores.items()
             }
             rows = [_run_cell_with(opened, task) for task in tasks]
         else:
@@ -297,7 +380,7 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             rows=rows,
             prepare_seconds=prepared - start,
             replay_seconds=done - prepared,
-            total_bytes={seed: total for seed, (_, total) in stores.items()},
+            total_bytes={key: total for key, (_, total) in stores.items()},
         )
     finally:
         if tempdir is not None:

@@ -1,0 +1,39 @@
+"""Scenario subsystem: declarative workloads + streaming composition.
+
+The paper's trace is one site, one community, one era; this package turns
+the reproduction into a scenario-driven evaluation platform.  A
+:class:`~repro.scenarios.spec.ScenarioSpec` declares a set of workload
+*components* -- each a :class:`~repro.workload.config.WorkloadConfig`
+variant plus a tenant label, population share, time window and intensity
+envelope -- and the :class:`~repro.scenarios.compositor.ScenarioCompositor`
+streams their generated (or store-cached) event-batch streams through a
+k-way time merge with non-colliding remapped file/user id spaces.
+
+Built-in archetypes live in :mod:`repro.scenarios.library`
+(``ncar-baseline``, ``flash-crowd``, ``backup-storm``,
+``archival-ingest``, ``ml-scan``, ``mixed-tenant``); the CLI front end is
+``repro scenario list|show|run|compare``.
+"""
+
+from repro.scenarios.compositor import (
+    ScenarioCompositor,
+    compose,
+    remap_ids,
+    split_ids,
+    tenant_of,
+)
+from repro.scenarios.library import build_scenario, scenario_names
+from repro.scenarios.spec import ComponentSpec, Envelope, ScenarioSpec
+
+__all__ = [
+    "ComponentSpec",
+    "Envelope",
+    "ScenarioCompositor",
+    "ScenarioSpec",
+    "build_scenario",
+    "compose",
+    "remap_ids",
+    "scenario_names",
+    "split_ids",
+    "tenant_of",
+]

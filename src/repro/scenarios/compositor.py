@@ -1,0 +1,208 @@
+"""Streaming multi-tenant composition of component event streams.
+
+The :class:`ScenarioCompositor` turns a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into one time-ordered
+:class:`~repro.engine.batch.EventBatch` stream:
+
+1. every component's stream is produced independently -- from the
+   content-addressed trace store when a ``cache_dir`` is given (so a
+   warm component is memory-mapped, never regenerated), else straight
+   from the vectorized generator -- under its spec-derived child seed;
+2. each component batch is transformed in place: the intensity envelope
+   thins events, the window shifts times by ``start_day``, and file/user
+   ids are remapped into non-colliding per-tenant id spaces;
+3. the per-component streams are k-way merged by time, holding at most
+   one in-flight batch per component, so memory stays bounded no matter
+   how large the composed trace is.
+
+**Id-remapping contract.**  With ``k`` components in canonical
+(sorted-name) order, component rank ``r`` maps local id ``i`` to global
+id ``i * k + r``.  The map is collision-free across tenants and
+round-trippable with floor arithmetic -- ``rank = g % k``,
+``local = g // k`` -- for negative ids too (the generator uses negative
+file ids for NO_SUCH_FILE references), so any consumer can attribute
+every composed event, including errors, to its tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec
+from repro.util.rng import child_rng
+from repro.util.units import DAY
+
+
+def remap_ids(local: np.ndarray, rank: int, k: int) -> np.ndarray:
+    """Local tenant ids -> non-colliding global ids (see module doc)."""
+    return local * np.int64(k) + np.int64(rank)
+
+
+def split_ids(global_ids: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Global ids -> (tenant rank, local id); inverse of :func:`remap_ids`."""
+    ranks = global_ids % k
+    return ranks, global_ids // k
+
+
+def tenant_of(global_ids: np.ndarray, k: int) -> np.ndarray:
+    """Tenant rank of each global id (works for negative error ids)."""
+    return global_ids % k
+
+
+class ScenarioCompositor:
+    """Composes one scenario into a bounded-memory merged batch stream."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        cache_dir: Optional[str] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        self.spec = spec
+        self.cache_dir = cache_dir
+        self.chunk_size = chunk_size
+        #: Tenant labels in rank order: ``labels[rank]`` names the tenant
+        #: every ``global_id % k == rank`` event belongs to.
+        self.labels: List[str] = spec.tenants
+        self.k = len(self.labels)
+
+    # ------------------------------------------------------------------
+    # Component streams
+
+    def component_store(self, name: str):
+        """The cached component store (generating on a miss)."""
+        from repro.engine.store import open_or_generate
+
+        if self.cache_dir is None:
+            raise ValueError("compositor has no cache_dir configured")
+        return open_or_generate(
+            self.spec.derived_config(name), self.cache_dir,
+            chunk_size=self.chunk_size,
+        )
+
+    def referenced_bytes(self) -> int:
+        """Total referenced-store bytes across components (needs a cache).
+
+        The sum of each component store's recorded namespace size -- the
+        denominator capacity sweeps scale against.
+        """
+        total = 0
+        for name in self.labels:
+            store_total = self.component_store(name).total_bytes
+            if store_total is None:
+                raise ValueError(f"component store for {name!r} lacks total_bytes")
+            total += store_total
+        return total
+
+    def _component_batches(self, name: str) -> Iterator[EventBatch]:
+        """One component's raw stream (store-backed when cached)."""
+        if self.cache_dir is not None:
+            return self.component_store(name).iter_batches(
+                chunk_size=self.chunk_size
+            )
+        from repro.workload.generator import generate_batches
+
+        return generate_batches(
+            self.spec.derived_config(name), chunk_size=self.chunk_size
+        )
+
+    def _transformed(
+        self, component: ComponentSpec, rank: int
+    ) -> Iterator[EventBatch]:
+        """Thinned, shifted, id-remapped view of one component stream."""
+        envelope = component.envelope
+        # The thinning stream is seeded per component (by derived seed),
+        # independent of merge interleaving, and numpy Generators consume
+        # uniform draws sequentially, so the kept set does not depend on
+        # how the producer chunked the stream.
+        rng = (
+            None
+            if envelope.is_constant
+            else child_rng(self.spec.derived_config(component.name).seed, "envelope")
+        )
+        shift = component.start_day * DAY
+        k = self.k
+        for batch in self._component_batches(component.name):
+            times = batch.time + shift if shift else batch.time
+            if rng is not None and len(batch):
+                # Thin on *scenario* time: the envelope declares wall-clock
+                # hours of the composed trace, so a window opening at a
+                # fractional start_day must not displace them.
+                keep = rng.random(len(batch)) < envelope.acceptance(times)
+                batch = batch.select(keep)
+                times = times[keep]
+            if not len(batch):
+                continue
+            yield EventBatch(
+                file_id=remap_ids(batch.file_id, rank, k),
+                size=batch.size,
+                time=times,
+                is_write=batch.is_write,
+                device=batch.device,
+                error=batch.error,
+                user=None if batch.user is None else remap_ids(batch.user, rank, k),
+                latency=batch.latency,
+                transfer=batch.transfer,
+            )
+
+    # ------------------------------------------------------------------
+    # The k-way merge
+
+    def iter_batches(self) -> Iterator[EventBatch]:
+        """The composed stream, globally time-ordered, one batch at a time.
+
+        Each round takes ``t_cut`` = the earliest *last* event time among
+        the components' in-flight batches, emits every event at or below
+        it (merged with one stable sort), and refills only the component
+        that defined the cut -- so at most one batch per component is
+        ever resident, and each emitted batch starts no earlier than the
+        previous one ended.
+        """
+        streams = [
+            self._transformed(component, rank)
+            for rank, component in enumerate(self.spec.ordered_components())
+        ]
+        heads: List[Optional[EventBatch]] = [None] * len(streams)
+        live = list(range(len(streams)))
+        while True:
+            still_live = []
+            for index in live:
+                head = heads[index]
+                while head is None or not len(head):
+                    head = next(streams[index], None)
+                    if head is None:
+                        break
+                heads[index] = head
+                if head is not None:
+                    still_live.append(index)
+            live = still_live
+            if not live:
+                return
+            t_cut = min(float(heads[index].time[-1]) for index in live)
+            parts = []
+            for index in live:
+                head = heads[index]
+                n = int(np.searchsorted(head.time, t_cut, side="right"))
+                if n:
+                    parts.append(head.slice(0, n))
+                heads[index] = head.slice(n, len(head)) if n < len(head) else None
+            merged = EventBatch.concat(parts)
+            # Stable sort on time: ties keep canonical component order,
+            # so the composed stream is deterministic and invariant to
+            # how the spec happened to list its components.
+            order = np.argsort(merged.time, kind="stable")
+            yield merged.select(order)
+
+
+def compose(
+    spec: ScenarioSpec,
+    cache_dir: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[EventBatch]:
+    """Functional entry point: the composed stream of one spec."""
+    return ScenarioCompositor(
+        spec, cache_dir=cache_dir, chunk_size=chunk_size
+    ).iter_batches()

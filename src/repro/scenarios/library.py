@@ -1,0 +1,263 @@
+"""Built-in scenario archetypes.
+
+Each builder returns a :class:`~repro.scenarios.spec.ScenarioSpec` at a
+requested ``(scale, seed, days)`` operating point.  The NCAR baseline is
+the paper's 1990-92 community; the rest model the access patterns a
+modern HSM faces (wide-area DFS usage, workgroup NFS serving, ML
+pipelines, archival ingest -- see PAPERS.md) as declarative variants of
+the same generator: different burst/gap/placement knobs, population
+shares, time windows and intensity envelopes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core import paper
+from repro.scenarios.spec import ComponentSpec, Envelope, ScenarioSpec
+from repro.util.units import DAY
+from repro.workload.config import (
+    BurstConfig,
+    GapConfig,
+    PlacementConfig,
+    SessionConfig,
+    WorkloadConfig,
+)
+
+#: Builder signature: (scale, seed, days) -> ScenarioSpec.
+Builder = Callable[[float, int, float], ScenarioSpec]
+
+
+def _workload(scale: float, days: float, **overrides) -> WorkloadConfig:
+    """A component workload at one scale/span (seed is spec-derived)."""
+    return WorkloadConfig(
+        scale=scale, seed=0, duration_seconds=days * DAY, **overrides
+    )
+
+
+def _ncar_component(scale: float, days: float, share: float = 1.0) -> ComponentSpec:
+    """The paper's observed community, unchanged."""
+    return ComponentSpec(name="ncar", workload=_workload(scale, days), share=share)
+
+
+def _flash_crowd_component(
+    scale: float, days: float, share: float = 0.3
+) -> ComponentSpec:
+    """A sudden read storm on a small hot set.
+
+    A short window opening mid-scenario; a small file population whose
+    deduped references fan out into heavy 8-hour re-read bursts and
+    quick same-day revisits -- a dataset going viral, not a working
+    archive.
+    """
+    crowd_days = max(2.0, days * 0.08)
+    workload = _workload(
+        scale,
+        crowd_days,
+        bursts=BurstConfig(
+            read_extra_mean=6.0, write_extra_mean=0.1, follower_gap_mean=400.0
+        ),
+        gaps=GapConfig(p0_same_small=0.9, p0_same_large=0.8, p0_cross=0.85),
+        sessions=SessionConfig(mean_session_length=25.0, intra_gap_mean=1.0),
+    )
+    return ComponentSpec(
+        name="crowd",
+        workload=workload,
+        share=share,
+        start_day=max(0.0, days * 0.4),
+    )
+
+
+def _backup_storm_component(
+    scale: float, days: float, share: float = 0.4
+) -> ComponentSpec:
+    """Nightly sequential write/read waves in a fixed backup window."""
+    workload = _workload(
+        scale,
+        days,
+        bursts=BurstConfig(
+            read_extra_mean=0.1, write_extra_mean=2.5, follower_gap_mean=900.0
+        ),
+        gaps=GapConfig(p0_cross=0.85, geom_p=0.85),
+        sessions=SessionConfig(mean_session_length=40.0, intra_gap_mean=1.5),
+    )
+    return ComponentSpec(
+        name="backup",
+        workload=workload,
+        share=share,
+        envelope=Envelope(kind="daily", hour_start=0.0, hour_end=6.0, floor=0.02),
+    )
+
+
+def _archival_ingest_component(
+    scale: float, days: float, share: float = 0.5
+) -> ComponentSpec:
+    """Write-once cold data with rare, months-later recalls."""
+    workload = _workload(
+        scale,
+        days,
+        bursts=BurstConfig(read_extra_mean=0.05, write_extra_mean=0.05),
+        gaps=GapConfig(
+            p0_cross=0.05,
+            p0_same_small=0.05,
+            p0_same_large=0.03,
+            q_short_cross=0.10,
+            q_short_small=0.10,
+            q_short_large=0.05,
+            long_median_days=180.0,
+            long_sigma=1.2,
+        ),
+        placement=PlacementConfig(
+            tape_write_shelf_fraction=0.30, promote_on_read=0.02
+        ),
+        history_atom_fraction=0.35,
+    )
+    return ComponentSpec(name="archive", workload=workload, share=share)
+
+
+def _ml_scan_component(scale: float, days: float, share: float = 0.4) -> ComponentSpec:
+    """Repeated full-corpus read epochs during working hours.
+
+    Every file is re-read on a short geometric cadence in long sequential
+    sessions -- the training-epoch scan pattern that defeats pure
+    recency-based migration.
+    """
+    workload = _workload(
+        scale,
+        days,
+        bursts=BurstConfig(read_extra_mean=1.5, write_extra_mean=0.05),
+        gaps=GapConfig(
+            p0_same_small=0.70,
+            p0_same_large=0.65,
+            q_short_cross=0.95,
+            q_short_small=0.95,
+            q_short_large=0.90,
+            geom_p=0.9,
+        ),
+        sessions=SessionConfig(mean_session_length=50.0, intra_gap_mean=0.5),
+    )
+    return ComponentSpec(
+        name="mlscan",
+        workload=workload,
+        share=share,
+        envelope=Envelope(kind="daily", hour_start=7.0, hour_end=21.0, floor=0.15),
+    )
+
+
+def _default_days(days: Optional[float]) -> float:
+    return float(days) if days is not None else float(paper.TRACE_SPAN_DAYS)
+
+
+def _spec(name: str, description: str, seed: int, components) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name, description=description, seed=seed, components=tuple(components)
+    )
+
+
+def _build_ncar_baseline(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "ncar-baseline",
+        "The paper's 1990-92 NCAR community, unchanged (one tenant).",
+        seed,
+        [_ncar_component(scale, days)],
+    )
+
+
+def _build_flash_crowd(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "flash-crowd",
+        "Sudden read storm on a small hot set, opening mid-scenario.",
+        seed,
+        [_flash_crowd_component(scale, days, share=1.0)],
+    )
+
+
+def _build_backup_storm(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "backup-storm",
+        "Nightly sequential write/read waves confined to a 00-06h window.",
+        seed,
+        [_backup_storm_component(scale, days, share=1.0)],
+    )
+
+
+def _build_archival_ingest(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "archival-ingest",
+        "Write-once cold data; rare recalls on a months-long horizon.",
+        seed,
+        [_archival_ingest_component(scale, days, share=1.0)],
+    )
+
+
+def _build_ml_scan(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "ml-scan",
+        "Repeated full-corpus read epochs in long working-hours sessions.",
+        seed,
+        [_ml_scan_component(scale, days, share=1.0)],
+    )
+
+
+def _build_mixed_tenant(scale: float, seed: int, days: float) -> ScenarioSpec:
+    return _spec(
+        "mixed-tenant",
+        "NCAR baseline sharing one MSS with a flash crowd and nightly backups.",
+        seed,
+        [
+            _ncar_component(scale, days, share=0.6),
+            _flash_crowd_component(scale, days, share=0.2),
+            _backup_storm_component(scale, days, share=0.2),
+        ],
+    )
+
+
+#: name -> builder, in presentation order.
+_BUILDERS: Dict[str, Builder] = {
+    "ncar-baseline": _build_ncar_baseline,
+    "flash-crowd": _build_flash_crowd,
+    "backup-storm": _build_backup_storm,
+    "archival-ingest": _build_archival_ingest,
+    "ml-scan": _build_ml_scan,
+    "mixed-tenant": _build_mixed_tenant,
+}
+
+
+def scenario_names() -> List[str]:
+    """Names of every built-in archetype."""
+    return list(_BUILDERS)
+
+
+def build_scenario(
+    name: str,
+    scale: float = 0.01,
+    seed: int = 0,
+    days: Optional[float] = None,
+) -> ScenarioSpec:
+    """One built-in archetype at a chosen operating point."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+    return builder(scale, seed, _default_days(days))
+
+
+def describe_scenarios() -> List[dict]:
+    """(name, description, tenant count) summaries for ``scenario list``.
+
+    Built at a nominal operating point -- descriptions and tenant sets do
+    not depend on scale/seed/days.
+    """
+    rows = []
+    for name in scenario_names():
+        spec = build_scenario(name, scale=0.01, seed=0, days=30.0)
+        rows.append(
+            {
+                "name": name,
+                "description": spec.description,
+                "tenants": spec.tenants,
+            }
+        )
+    return rows

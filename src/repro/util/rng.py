@@ -10,7 +10,7 @@ single stream.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
@@ -32,6 +32,26 @@ def child_rng(seed: int, name: str) -> np.random.Generator:
     digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
     child_seed = int.from_bytes(digest[:8], "big")
     return np.random.default_rng(child_seed)
+
+
+def component_child_seeds(root_seed: int, names: Iterable[str]) -> Dict[str, int]:
+    """Stable per-component child seeds for a multi-component workload.
+
+    Spawns one :class:`numpy.random.SeedSequence` child per component and
+    folds each into a plain integer seed (usable as ``WorkloadConfig.seed``
+    and as a store cache key).  Children are assigned to components in
+    *sorted-name* order, so the seed a component receives depends only on
+    the root seed and the set of names -- never on the order components
+    happen to be listed in a spec.
+    """
+    ordered = sorted(names)
+    if len(set(ordered)) != len(ordered):
+        raise ValueError(f"component names must be unique: {ordered}")
+    children = np.random.SeedSequence(root_seed).spawn(len(ordered))
+    return {
+        name: int(child.generate_state(1, np.uint32)[0])
+        for name, child in zip(ordered, children)
+    }
 
 
 class SeedSequenceFactory:

@@ -84,6 +84,54 @@ def test_study_metrics_requires_simulation(study):
         _ = study.mss_metrics
 
 
+def test_iter_batches_rejects_unknown_kind(study):
+    from repro.core.study import BATCH_KINDS
+
+    with pytest.raises(ValueError) as excinfo:
+        study.iter_batches("bogus")
+    message = str(excinfo.value)
+    assert "bogus" in message
+    for kind in BATCH_KINDS:
+        assert kind in message
+
+
+def test_event_batches_rejects_non_bool_flag(study):
+    # Passing an iter_batches-style kind string must fail loudly instead
+    # of silently preparing the truthy default stream.
+    with pytest.raises(ValueError, match="deduped=True/False"):
+        study.event_batches("deduped")
+    with pytest.raises(ValueError, match="iter_batches"):
+        study.event_batches(1)
+
+
+def test_scenario_study_streams_and_breaks_down_by_tenant():
+    from repro.scenarios import build_scenario
+
+    spec = build_scenario("mixed-tenant", scale=0.004, seed=7, days=30.0)
+    scenario_study = Study(StudyConfig(scenario=spec))
+    with pytest.raises(ValueError, match="no single SyntheticTrace"):
+        _ = scenario_study.trace
+    breakdown = scenario_study.tenant_breakdown()
+    assert breakdown.labels == spec.tenants
+    refs = {
+        label: breakdown.tenant(label).grand_total().references
+        for label in breakdown.labels
+    }
+    assert all(count > 0 for count in refs.values())
+    batches = scenario_study.event_batches(deduped=True)
+    assert batches and sum(len(b) for b in batches) > 0
+    # Table 3 runs off the composed stream too.
+    assert scenario_study.table3().row("error fraction").relative_error < 0.25
+
+
+def test_scenario_study_rejects_des_latencies():
+    from repro.scenarios import build_scenario
+
+    spec = build_scenario("ncar-baseline", scale=0.004, seed=7, days=30.0)
+    with pytest.raises(ValueError, match="simulate_latencies"):
+        Study(StudyConfig(scenario=spec, simulate_latencies=True))
+
+
 def test_dense_study_runs_des():
     dense = Study(StudyConfig.dense(scale=0.004, seed=7, days=4.0))
     records = dense.records()

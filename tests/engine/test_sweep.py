@@ -126,7 +126,7 @@ def test_store_backed_sweep_matches_in_memory_replay(serial_result):
     streams = {}
     for seed in config.seeds:
         trace = generate_trace(_seed_config(config, seed))
-        streams[seed] = (
+        streams[(None, seed)] = (
             prepare_stream(trace, chunk_size=config.chunk_size),
             trace.namespace.total_bytes,
         )
@@ -134,10 +134,51 @@ def test_store_backed_sweep_matches_in_memory_replay(serial_result):
     for row in sorted(serial_result.rows, key=key):
         want = _run_cell_with(
             streams,
-            (row.seed, row.policy, row.capacity_fraction, config.writeback_delay),
+            ((None, row.seed), row.policy, row.capacity_fraction,
+             config.writeback_delay),
         )
         assert row.capacity_bytes == want.capacity_bytes
         assert dataclasses.asdict(row.metrics) == dataclasses.asdict(want.metrics)
+
+
+def test_scenario_sweep_covers_policies_x_scenarios(tmp_path):
+    config = SweepConfig(
+        policies=("stp", "lru"),
+        capacity_fractions=(0.02,),
+        seeds=(0,),
+        scenarios=("ncar-baseline", "flash-crowd"),
+        cache_dir=str(tmp_path),
+        scale=0.004,
+        duration_days=30.0,
+    )
+    result = run_sweep(config)
+    assert len(result.rows) == config.n_cells == 4
+    assert {row.scenario for row in result.rows} == {
+        "ncar-baseline", "flash-crowd"
+    }
+    for row in result.rows:
+        assert row.metrics.reads > 0
+    merged = result.aggregated()
+    assert ("flash-crowd", "stp", 0.02) in merged
+    text = result.render()
+    assert "scenario" in text and "flash-crowd" in text
+    # Composed HSM streams are content-addressed by scenario hash ...
+    assert len(list(tmp_path.glob("scenario-hsm-*/manifest.json"))) == 2
+    # ... on top of shared per-component stores.
+    assert list(tmp_path.glob("trace-*/manifest.json"))
+    # A repeat sweep replays the cached streams and matches exactly.
+    again = run_sweep(config)
+    key = lambda r: (r.scenario, r.policy, r.capacity_fraction)
+    for a, b in zip(sorted(result.rows, key=key), sorted(again.rows, key=key)):
+        assert dataclasses.asdict(a.metrics) == dataclasses.asdict(b.metrics)
+
+
+def test_sweep_rejects_unknown_scenarios():
+    with pytest.raises(ValueError, match="unknown scenarios"):
+        SweepConfig(
+            policies=("lru",), capacity_fractions=(0.02,),
+            scenarios=("not-a-scenario",),
+        )
 
 
 def test_sweep_reuses_cache_dir(tmp_path):

@@ -1,0 +1,180 @@
+"""Scenario store cache, trace-info metadata, and the scenario CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cli import main
+from repro.engine.batch import EventBatch
+from repro.engine.store import TraceStore
+from repro.scenarios.cache import (
+    compose_cached,
+    open_scenario_store,
+    scenario_store_dir,
+)
+from repro.scenarios.compositor import compose
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+
+TINY = WorkloadConfig(scale=0.004, duration_seconds=30 * DAY)
+
+SPEC = ScenarioSpec(
+    name="cache-test",
+    components=(
+        ComponentSpec(name="alpha", workload=TINY),
+        ComponentSpec(name="beta", workload=TINY, start_day=2.0),
+    ),
+    seed=5,
+)
+
+
+# ---------------------------------------------------------------------------
+# Composed-store cache
+
+
+def test_compose_cached_round_trips_the_stream(tmp_path):
+    store = compose_cached(SPEC, tmp_path)
+    stored = EventBatch.concat(list(store.iter_batches()))
+    direct = EventBatch.concat(list(compose(SPEC)))
+    np.testing.assert_array_equal(stored.file_id, direct.file_id)
+    np.testing.assert_array_equal(stored.time, direct.time)
+    scenario = store.meta["scenario"]
+    assert scenario["name"] == "cache-test"
+    assert scenario["hash"] == SPEC.scenario_hash()
+    assert scenario["tenants"] == ["alpha", "beta"]
+    assert store.total_bytes and store.total_bytes > 0
+
+
+def test_compose_cached_hits_do_not_rewrite(tmp_path, monkeypatch):
+    first = compose_cached(SPEC, tmp_path)
+    # A warm hit must neither regenerate components nor recompose.
+    import repro.workload.generator as generator
+
+    def boom(*args, **kwargs):  # pragma: no cover - the assertion is the call
+        raise AssertionError("cache hit should not generate")
+
+    monkeypatch.setattr(generator, "generate_trace", boom)
+    second = compose_cached(SPEC, tmp_path)
+    assert second.path == first.path
+    assert second.n_events == first.n_events
+
+
+def test_open_scenario_store_rejects_stale_hash(tmp_path):
+    compose_cached(SPEC, tmp_path)
+    other = ScenarioSpec(
+        name="cache-test",
+        components=SPEC.components,
+        seed=SPEC.seed + 1,
+    )
+    assert open_scenario_store(other, tmp_path) is None
+    # ... and a matching spec still hits.
+    assert open_scenario_store(SPEC, tmp_path) is not None
+
+
+def test_scenario_hsm_variant_is_prepared_for_replay(tmp_path):
+    store = compose_cached(SPEC, tmp_path, variant="scenario-hsm")
+    assert store.path == scenario_store_dir(tmp_path, SPEC, "scenario-hsm")
+    merged = EventBatch.concat(list(store.iter_batches()))
+    assert np.all(merged.error == 0)
+    assert np.all(merged.size >= 1)
+    raw = compose_cached(SPEC, tmp_path)
+    assert len(merged) < raw.n_events  # errors stripped + deduped
+
+
+def test_scenario_store_dir_rejects_unknown_variant(tmp_path):
+    with pytest.raises(ValueError, match="variant"):
+        scenario_store_dir(tmp_path, SPEC, "bogus")
+
+
+# ---------------------------------------------------------------------------
+# trace info metadata (and pre-scenario manifest compatibility)
+
+
+def test_trace_info_prints_scenario_metadata(tmp_path, capsys):
+    store = compose_cached(SPEC, tmp_path)
+    assert main(["trace", "info", str(store.path)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario:  cache-test" in out
+    assert "alpha, beta" in out
+    assert "file_id % 2" in out
+
+
+def test_trace_info_degrades_on_pre_scenario_manifests(tmp_path, capsys):
+    """Manifests written before the scenario subsystem lack ``meta``."""
+    store = compose_cached(SPEC, tmp_path)
+    manifest_path = store.path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    del manifest["meta"]
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+    reopened = TraceStore.open(store.path)
+    assert reopened.meta == {}
+    description = reopened.describe()
+    assert "scenario:" not in description
+    assert main(["trace", "info", str(store.path)]) == 0
+    assert "events:" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+CLI_SCALE = ["--scale", "0.004", "--days", "30"]
+
+
+def test_cli_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed-tenant" in out and "flash-crowd" in out
+
+
+def test_cli_scenario_show_text_and_json(capsys):
+    assert main(["scenario", "show", "mixed-tenant"] + CLI_SCALE) == 0
+    out = capsys.readouterr().out
+    assert "tenants:   backup, crowd, ncar" in out
+    assert main(["scenario", "show", "mixed-tenant", "--json"] + CLI_SCALE) == 0
+    spec = json.loads(capsys.readouterr().out)
+    assert spec["name"] == "mixed-tenant"
+    assert len(spec["components"]) == 3
+
+
+def test_cli_scenario_show_unknown_name(capsys):
+    assert main(["scenario", "show", "nope"] + CLI_SCALE) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_scenario_run_with_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["scenario", "run", "flash-crowd", "--cache-dir", cache] + CLI_SCALE
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Per-tenant overall statistics: flash-crowd" in out
+    assert "crowd" in out
+    # Second run hits both the component and the composed stores.
+    assert main(args) == 0
+    assert "store" in capsys.readouterr().out
+
+
+def test_cli_scenario_run_from_spec_file(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC.to_dict()), encoding="utf-8")
+    assert main(["scenario", "run", "--spec", str(path)] + CLI_SCALE) == 0
+    out = capsys.readouterr().out
+    assert "cache-test" in out and "alpha" in out and "beta" in out
+
+
+def test_cli_scenario_compare(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert (
+        main(
+            ["scenario", "compare", "ncar-baseline", "flash-crowd",
+             "--cache-dir", cache]
+            + CLI_SCALE
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Scenario comparison" in out
+    assert "ncar-baseline" in out and "flash-crowd" in out

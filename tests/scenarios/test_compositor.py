@@ -1,0 +1,195 @@
+"""Compositor: id remapping, k-way merge, envelopes, order invariance."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch
+from repro.scenarios.compositor import (
+    ScenarioCompositor,
+    compose,
+    remap_ids,
+    split_ids,
+    tenant_of,
+)
+from repro.scenarios.spec import ComponentSpec, Envelope, ScenarioSpec
+from repro.util.units import DAY
+from repro.workload.config import WorkloadConfig
+
+#: Small but non-trivial component workload (a few thousand events).
+TINY = WorkloadConfig(scale=0.004, duration_seconds=30 * DAY)
+
+
+def _spec(*components, seed=11):
+    return ScenarioSpec(name="test", components=tuple(components), seed=seed)
+
+
+def _collect(batches):
+    return EventBatch.concat(list(batches))
+
+
+TWO_TENANTS = _spec(
+    ComponentSpec(name="alpha", workload=TINY),
+    ComponentSpec(name="beta", workload=TINY, start_day=3.0),
+)
+
+
+@pytest.fixture(scope="module")
+def composed():
+    """The merged two-tenant stream, small chunks to exercise the merge."""
+    return list(
+        ScenarioCompositor(TWO_TENANTS, chunk_size=512).iter_batches()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Id remapping contract
+
+
+def test_remap_is_round_trippable_including_negative_ids():
+    local = np.array([-5, -1, 0, 1, 7, 123456], dtype=np.int64)
+    for k in (1, 2, 3, 7):
+        for rank in range(k):
+            ranks, back = split_ids(remap_ids(local, rank, k), k)
+            assert np.all(ranks == rank)
+            np.testing.assert_array_equal(back, local)
+
+
+def test_remap_is_collision_free_across_tenants():
+    local = np.arange(-10, 1000, dtype=np.int64)
+    spaces = [set(remap_ids(local, rank, 3).tolist()) for rank in range(3)]
+    assert not (spaces[0] & spaces[1])
+    assert not (spaces[0] & spaces[2])
+    assert not (spaces[1] & spaces[2])
+
+
+def test_tenant_of_matches_split(composed):
+    merged = EventBatch.concat(composed)
+    ranks, _ = split_ids(merged.file_id, 2)
+    np.testing.assert_array_equal(tenant_of(merged.file_id, 2), ranks)
+    assert set(np.unique(ranks).tolist()) == {0, 1}
+
+
+# ---------------------------------------------------------------------------
+# The k-way merge
+
+
+def test_merge_is_time_ordered_across_batch_boundaries(composed):
+    assert len(composed) > 2, "want several emitted batches"
+    last = -np.inf
+    for batch in composed:
+        assert len(batch)
+        assert np.all(np.diff(batch.time) >= 0)
+        assert batch.time[0] >= last
+        last = float(batch.time[-1])
+
+
+def test_merge_preserves_every_component_event(composed):
+    merged = EventBatch.concat(composed)
+    ranks, local_ids = split_ids(merged.file_id, 2)
+    from repro.workload.generator import generate_batches
+
+    total = 0
+    for rank, name in enumerate(["alpha", "beta"]):
+        component = TWO_TENANTS.component(name)
+        raw = _collect(
+            generate_batches(TWO_TENANTS.derived_config(name), chunk_size=512)
+        )
+        mask = ranks == rank
+        total += int(mask.sum())
+        assert int(mask.sum()) == len(raw)
+        np.testing.assert_array_equal(np.sort(local_ids[mask]), np.sort(raw.file_id))
+        shifted = raw.time + component.start_day * DAY
+        np.testing.assert_allclose(np.sort(merged.time[mask]), np.sort(shifted))
+    assert total == len(merged)
+
+
+def test_empty_component_contributes_nothing():
+    # A daily envelope with an empty active window and zero floor thins
+    # every event away: the component exists but contributes no stream.
+    silent = ComponentSpec(
+        name="silent",
+        workload=TINY,
+        envelope=Envelope(kind="daily", hour_start=5.0, hour_end=5.0, floor=0.0),
+    )
+    loud = ComponentSpec(name="loud", workload=TINY)
+    merged = _collect(compose(_spec(silent, loud)))
+    ranks = tenant_of(merged.file_id, 2)
+    loud_rank = ["loud", "silent"].index("loud")
+    assert np.all(ranks == loud_rank)
+    solo = _collect(compose(_spec(loud, silent)))
+    assert len(solo) == len(merged)
+
+
+def test_single_component_scenario_is_the_identity_mapping():
+    spec = _spec(ComponentSpec(name="only", workload=TINY))
+    merged = _collect(compose(spec))
+    from repro.workload.generator import generate_batches
+
+    raw = _collect(generate_batches(spec.derived_config("only")))
+    np.testing.assert_array_equal(merged.file_id, raw.file_id)
+    np.testing.assert_array_equal(merged.time, raw.time)
+    np.testing.assert_array_equal(merged.user, raw.user)
+
+
+# ---------------------------------------------------------------------------
+# Determinism and listing-order invariance (satellite: seed derivation)
+
+
+def test_component_streams_invariant_to_listing_order():
+    alpha = ComponentSpec(name="alpha", workload=TINY)
+    beta = ComponentSpec(name="beta", workload=TINY, start_day=3.0)
+    forward = _collect(compose(_spec(alpha, beta)))
+    reversed_ = _collect(compose(_spec(beta, alpha)))
+    np.testing.assert_array_equal(forward.file_id, reversed_.file_id)
+    np.testing.assert_array_equal(forward.time, reversed_.time)
+    np.testing.assert_array_equal(forward.is_write, reversed_.is_write)
+    np.testing.assert_array_equal(forward.user, reversed_.user)
+
+
+def test_composition_is_deterministic(composed):
+    again = list(ScenarioCompositor(TWO_TENANTS, chunk_size=512).iter_batches())
+    a, b = EventBatch.concat(composed), EventBatch.concat(again)
+    np.testing.assert_array_equal(a.file_id, b.file_id)
+    np.testing.assert_array_equal(a.time, b.time)
+
+
+def test_envelope_thins_outside_window():
+    nightly = ComponentSpec(
+        name="night",
+        workload=TINY,
+        envelope=Envelope(kind="daily", hour_start=0.0, hour_end=6.0, floor=0.0),
+    )
+    merged = _collect(compose(_spec(nightly)))
+    assert len(merged)
+    hours = (merged.time / 3600.0) % 24.0
+    assert np.all(hours < 6.0)
+
+
+def test_envelope_applies_to_scenario_time_not_component_time():
+    # A window opening at a fractional start_day: the daily envelope
+    # still declares scenario wall-clock hours, so the kept events land
+    # inside 0-6h of the *composed* trace, not 6-12h.
+    shifted_night = ComponentSpec(
+        name="night",
+        workload=TINY,
+        start_day=0.25,
+        envelope=Envelope(kind="daily", hour_start=0.0, hour_end=6.0, floor=0.0),
+    )
+    merged = _collect(compose(_spec(shifted_night)))
+    assert len(merged)
+    hours = (merged.time / 3600.0) % 24.0
+    assert np.all(hours < 6.0)
+
+
+def test_referenced_bytes_requires_cache_dir():
+    with pytest.raises(ValueError, match="cache_dir"):
+        ScenarioCompositor(TWO_TENANTS).referenced_bytes()
+
+
+def test_cached_composition_matches_streamed(tmp_path):
+    cold = _collect(compose(TWO_TENANTS))
+    warm = _collect(compose(TWO_TENANTS, cache_dir=str(tmp_path)))
+    np.testing.assert_array_equal(cold.file_id, warm.file_id)
+    np.testing.assert_array_equal(cold.time, warm.time)
+    # Both components landed in the content-addressed cache.
+    assert len(list(tmp_path.glob("trace-*"))) == 2

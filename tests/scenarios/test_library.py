@@ -1,0 +1,62 @@
+"""Built-in archetype library."""
+
+import pytest
+
+from repro.scenarios.library import (
+    build_scenario,
+    describe_scenarios,
+    scenario_names,
+)
+
+
+def test_library_has_the_promised_archetypes():
+    names = scenario_names()
+    assert len(names) >= 6
+    for expected in (
+        "ncar-baseline",
+        "flash-crowd",
+        "backup-storm",
+        "archival-ingest",
+        "ml-scan",
+        "mixed-tenant",
+    ):
+        assert expected in names
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_archetype_builds_a_valid_spec(name):
+    spec = build_scenario(name, scale=0.004, seed=3, days=30.0)
+    assert spec.name == name
+    assert spec.description
+    assert spec.seed == 3
+    assert spec.tenants == sorted({c.name for c in spec.components})
+    for tenant in spec.tenants:
+        config = spec.derived_config(tenant)
+        assert 0 < config.scale <= 0.004
+        assert config.duration_seconds > 0
+
+
+def test_mixed_tenant_shares_one_mss():
+    spec = build_scenario("mixed-tenant", scale=0.01, seed=0, days=60.0)
+    assert len(spec.components) >= 3
+    assert sum(c.share for c in spec.components) == pytest.approx(1.0)
+
+
+def test_build_scenario_rejects_unknown_names():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        build_scenario("definitely-not-a-scenario")
+
+
+def test_describe_scenarios_covers_every_name():
+    rows = describe_scenarios()
+    assert [row["name"] for row in rows] == scenario_names()
+    for row in rows:
+        assert row["description"] and row["tenants"]
+
+
+def test_archetypes_differ_in_content_hash():
+    hashes = {
+        build_scenario(name, scale=0.004, seed=0, days=30.0).scenario_hash()
+        for name in scenario_names()
+    }
+    assert len(hashes) == len(scenario_names())

@@ -1,0 +1,173 @@
+"""ScenarioSpec: validation, serialization, hashing, derived configs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.scenarios.spec import ComponentSpec, Envelope, ScenarioSpec
+from repro.util.units import DAY, HOUR
+from repro.workload.config import BurstConfig, WorkloadConfig
+
+
+def _component(name, **kwargs):
+    workload = kwargs.pop(
+        "workload", WorkloadConfig(scale=0.01, duration_seconds=30 * DAY)
+    )
+    return ComponentSpec(name=name, workload=workload, **kwargs)
+
+
+def _spec(*components, **kwargs):
+    return ScenarioSpec(
+        name=kwargs.pop("name", "test"), components=tuple(components), **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+def test_spec_needs_components():
+    with pytest.raises(ValueError, match="at least one component"):
+        ScenarioSpec(name="empty")
+
+
+def test_spec_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="unique"):
+        _spec(_component("a"), _component("a"))
+
+
+def test_component_validation():
+    with pytest.raises(ValueError):
+        _component("a", share=0.0)
+    with pytest.raises(ValueError):
+        _component("a", share=1.5)
+    with pytest.raises(ValueError):
+        _component("a", start_day=-1.0)
+    with pytest.raises(ValueError):
+        _component("")
+
+
+def test_envelope_validation():
+    with pytest.raises(ValueError, match="envelope kind"):
+        Envelope(kind="weekly")
+    with pytest.raises(ValueError):
+        Envelope(kind="daily", period_days=0.0)
+    with pytest.raises(ValueError):
+        Envelope(kind="daily", floor=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Envelope acceptance
+
+
+def test_constant_envelope_accepts_everything():
+    times = np.linspace(0, 3 * DAY, 50)
+    assert np.all(Envelope().acceptance(times) == 1.0)
+
+
+def test_daily_envelope_window_and_floor():
+    envelope = Envelope(kind="daily", hour_start=0.0, hour_end=6.0, floor=0.25)
+    inside = np.array([1.0 * HOUR, DAY + 5.0 * HOUR])
+    outside = np.array([12.0 * HOUR, DAY + 18.0 * HOUR])
+    assert np.all(envelope.acceptance(inside) == 1.0)
+    assert np.all(envelope.acceptance(outside) == 0.25)
+
+
+def test_daily_envelope_wraps_past_midnight():
+    envelope = Envelope(kind="daily", hour_start=22.0, hour_end=2.0, floor=0.0)
+    inside = np.array([23.0 * HOUR, DAY + 1.0 * HOUR])
+    outside = np.array([12.0 * HOUR])
+    assert np.all(envelope.acceptance(inside) == 1.0)
+    assert np.all(envelope.acceptance(outside) == 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Canonical order, derived configs
+
+
+def test_tenants_and_rank_order_are_sorted_by_name():
+    spec = _spec(_component("zeta"), _component("alpha"))
+    assert spec.tenants == ["alpha", "zeta"]
+    assert [c.name for c in spec.ordered_components()] == ["alpha", "zeta"]
+
+
+def test_derived_config_applies_share_and_child_seed():
+    spec = _spec(_component("a", share=0.5), _component("b"), seed=9)
+    config = spec.derived_config("a")
+    assert config.scale == pytest.approx(0.005)
+    assert config.seed == spec.component_seeds()["a"]
+    # The sibling gets an independent seed from the same root.
+    assert spec.derived_config("b").seed != config.seed
+
+
+def test_component_lookup_raises_on_unknown_name():
+    spec = _spec(_component("a"))
+    with pytest.raises(KeyError, match="no component named"):
+        spec.component("nope")
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+
+
+def test_dict_round_trip_preserves_spec():
+    spec = _spec(
+        _component(
+            "a",
+            share=0.5,
+            start_day=3.0,
+            envelope=Envelope(kind="daily", hour_start=1.0, hour_end=5.0),
+            workload=WorkloadConfig(
+                scale=0.01,
+                duration_seconds=30 * DAY,
+                bursts=BurstConfig(read_extra_mean=4.0),
+            ),
+        ),
+        _component("b"),
+        seed=4,
+    )
+    rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+    assert rebuilt.tenants == spec.tenants
+    assert rebuilt.seed == spec.seed
+    assert rebuilt.component("a").workload.bursts.read_extra_mean == 4.0
+    assert rebuilt.scenario_hash() == spec.scenario_hash()
+
+
+def test_from_file_json_and_yaml(tmp_path):
+    import json
+
+    spec = _spec(_component("a"), seed=2)
+    json_path = tmp_path / "spec.json"
+    json_path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+    assert ScenarioSpec.from_file(json_path).scenario_hash() == spec.scenario_hash()
+
+    yaml = pytest.importorskip("yaml")
+    yaml_path = tmp_path / "spec.yaml"
+    yaml_path.write_text(yaml.safe_dump(spec.to_dict()), encoding="utf-8")
+    assert ScenarioSpec.from_file(yaml_path).scenario_hash() == spec.scenario_hash()
+
+
+def test_from_file_rejects_non_mapping(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2]", encoding="utf-8")
+    with pytest.raises(ValueError, match="mapping"):
+        ScenarioSpec.from_file(path)
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+
+
+def test_hash_is_listing_order_invariant():
+    a, b = _component("a"), _component("b")
+    assert _spec(a, b).scenario_hash() == _spec(b, a).scenario_hash()
+
+
+def test_hash_changes_with_spec_content():
+    base = _spec(_component("a"), seed=1)
+    assert base.scenario_hash() != _spec(_component("a"), seed=2).scenario_hash()
+    richer = _spec(
+        dataclasses.replace(_component("a"), share=0.5), seed=1
+    )
+    assert base.scenario_hash() != richer.scenario_hash()

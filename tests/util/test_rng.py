@@ -1,8 +1,15 @@
 """Deterministic RNG plumbing tests."""
 
 import numpy as np
+import pytest
 
-from repro.util.rng import DEFAULT_SEED, SeedSequenceFactory, child_rng, make_rng
+from repro.util.rng import (
+    DEFAULT_SEED,
+    SeedSequenceFactory,
+    child_rng,
+    component_child_seeds,
+    make_rng,
+)
 
 
 def test_make_rng_is_deterministic():
@@ -31,6 +38,27 @@ def test_factory_matches_child_rng():
     factory = SeedSequenceFactory(99)
     direct = child_rng(99, "workload")
     assert factory.named("workload").random() == direct.random()
+
+
+def test_component_child_seeds_invariant_to_listing_order():
+    # The scenario compositor's property: a component's derived seed
+    # depends on the root seed and the *set* of names, never the order
+    # they were listed in the spec.
+    forward = component_child_seeds(7, ["ncar", "crowd", "backup"])
+    shuffled = component_child_seeds(7, ["backup", "ncar", "crowd"])
+    assert forward == shuffled
+    assert set(forward) == {"ncar", "crowd", "backup"}
+
+
+def test_component_child_seeds_distinct_and_seed_dependent():
+    seeds = component_child_seeds(7, ["a", "b", "c"])
+    assert len(set(seeds.values())) == 3
+    assert component_child_seeds(8, ["a", "b", "c"]) != seeds
+
+
+def test_component_child_seeds_rejects_duplicates():
+    with pytest.raises(ValueError, match="unique"):
+        component_child_seeds(1, ["a", "a"])
 
 
 def test_adding_consumers_does_not_perturb_existing_streams():
