@@ -180,6 +180,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scenarios=tuple(
             part for part in (args.scenarios or "").split(",") if part
         ),
+        engine=args.engine,
     )
     result = run_sweep(config)
     print(result.render())
@@ -548,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", default=None,
                    help="comma-separated built-in scenario names: sweep "
                    "policies x scenarios instead of the single workload")
+    p.add_argument("--engine", choices=("auto", "stack", "des"),
+                   default="auto",
+                   help="replay machinery: 'auto' scans all capacities of "
+                   "an inclusion-preserving policy in one stack-engine "
+                   "pass and uses the DES elsewhere; 'stack'/'des' force "
+                   "one side (default auto)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")

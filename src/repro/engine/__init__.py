@@ -21,6 +21,13 @@ from repro.engine.replay import (
     prepare_stream,
     replay_policy,
 )
+from repro.engine.stackdist import (
+    STACK_POLICIES,
+    StackEngineError,
+    multi_capacity_replay,
+    resolve_engine,
+    supports_policy,
+)
 from repro.engine.store import (
     StoreError,
     TraceStore,
@@ -48,6 +55,8 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEVICE_ORDER",
     "EventBatch",
+    "STACK_POLICIES",
+    "StackEngineError",
     "StoreError",
     "SweepConfig",
     "SweepResult",
@@ -62,13 +71,16 @@ __all__ = [
     "device_index",
     "hsm_event_batches",
     "log_spaced_fractions",
+    "multi_capacity_replay",
     "open_or_generate",
     "prepare_stream",
     "rechunk",
     "records_from_batch",
     "records_from_batches",
     "replay_policy",
+    "resolve_engine",
     "run_sweep",
     "store_dir_for",
     "strip_errors",
+    "supports_policy",
 ]

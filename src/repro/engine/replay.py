@@ -33,11 +33,20 @@ def prepare_stream(
     return collect(hsm_event_batches(trace, deduped=deduped, chunk_size=chunk_size))
 
 
-def build_policy(policy_name: str, batches: Iterable[EventBatch]) -> MigrationPolicy:
-    """Instantiate a policy by name; OPT gets the full future schedule."""
+def build_policy(
+    policy_name: str,
+    batches: Iterable[EventBatch],
+    seed: Optional[int] = None,
+) -> MigrationPolicy:
+    """Instantiate a policy by name; OPT gets the full future schedule.
+
+    ``seed`` reseeds stochastic policies (see
+    :func:`repro.migration.registry.make_policy`); deterministic
+    policies and OPT ignore it.
+    """
     if policy_name == "opt":
         return OptimalPolicy.from_batches(list(batches))
-    return make_policy(policy_name)
+    return make_policy(policy_name, seed=seed)
 
 
 def replay_policy(
@@ -47,9 +56,10 @@ def replay_policy(
     namespace: Optional[Namespace] = None,
     writeback_delay: Optional[float] = 4 * 3600.0,
     prefetch: bool = False,
+    policy_seed: Optional[int] = None,
 ) -> HSMMetrics:
     """Run one named policy over a prepared batch stream."""
-    policy = build_policy(policy_name, batches)
+    policy = build_policy(policy_name, batches, seed=policy_seed)
     config = HSMConfig.with_capacity(
         capacity_bytes, writeback_delay=writeback_delay, prefetch=prefetch
     )
@@ -63,8 +73,26 @@ def capacity_sweep_batches(
     total_bytes: int,
     fractions: Iterable[float],
     namespace: Optional[Namespace] = None,
+    engine: str = "auto",
 ) -> Iterator[Tuple[float, HSMMetrics]]:
-    """Miss ratio vs capacity over a prepared stream (Section 2.3 curve)."""
+    """Miss ratio vs capacity over a prepared stream (Section 2.3 curve).
+
+    ``engine`` picks the replay machinery: ``auto`` computes the whole
+    curve in one stack-engine scan when the policy qualifies (see
+    :mod:`repro.engine.stackdist`) and falls back to one DES replay per
+    capacity otherwise; ``stack`` / ``des`` force one side.  Both
+    engines are exact and produce identical metrics.
+    """
+    from repro.engine.stackdist import multi_capacity_replay, resolve_engine
+
+    fractions = list(fractions)
+    if resolve_engine(engine, policy_name):
+        capacities = [
+            max(int(total_bytes * fraction), 1) for fraction in fractions
+        ]
+        rows = multi_capacity_replay(batches, policy_name, capacities)
+        yield from zip(fractions, rows)
+        return
     for fraction in fractions:
         capacity = max(int(total_bytes * fraction), 1)
         yield fraction, replay_policy(

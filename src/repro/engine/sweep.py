@@ -13,6 +13,7 @@ embarrassingly parallel part, so wall-clock scales with cores.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import tempfile
 import time as _time
@@ -21,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
 from repro.engine.replay import replay_policy
+from repro.engine.stackdist import multi_capacity_replay, resolve_engine
 from repro.engine.store import TraceStore, open_or_generate
 from repro.hsm.metrics import HSMMetrics
 from repro.util.units import DAY
@@ -52,6 +54,12 @@ class SweepConfig:
     #: composed HSM stream prepared once per seed (content-addressed by
     #: scenario hash) and replayed against every (policy, capacity) cell.
     scenarios: Tuple[str, ...] = ()
+    #: Replay machinery: ``auto`` collapses all capacity cells of an
+    #: inclusion-preserving (policy, stream) group into one stack-engine
+    #: scan and runs the rest per-cell through the DES; ``des`` forces
+    #: per-cell DES everywhere; ``stack`` insists on the stack engine
+    #: and rejects policies it cannot replay.  Both engines are exact.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         from repro.migration.registry import available_policies
@@ -64,6 +72,9 @@ class SweepConfig:
             raise ValueError(
                 f"unknown policies {unknown}; choose from {sorted(known)}"
             )
+        for policy in self.policies:
+            # "stack" must fail fast on a non-stack-replayable policy.
+            resolve_engine(self.engine, policy)
         if not self.capacity_fractions:
             raise ValueError("need at least one capacity fraction")
         if not self.seeds:
@@ -118,6 +129,24 @@ def log_spaced_fractions(
 #: One prepared stream's identity: (scenario name or None, seed).
 StreamKey = Tuple[Optional[str], int]
 
+#: One worker task: a (stream, policy) group and the capacity fractions
+#: it covers -- the full fraction grid in one stack-engine scan, or a
+#: single fraction per DES task.
+SweepTask = Tuple[StreamKey, str, Tuple[float, ...], Optional[float], bool]
+
+
+def cell_seed(seed: int, scenario: Optional[str], policy: str, fraction: float) -> int:
+    """Deterministic per-cell RNG seed for stochastic policies.
+
+    Every (stream, policy, capacity) cell must draw an independent
+    victim stream -- the registry default would hand each cell the same
+    ``seed=0`` RNG.  Hashing keeps the derivation stable across runs and
+    processes (unlike ``hash()``, which PYTHONHASHSEED perturbs).
+    """
+    label = f"{scenario}:{seed}:{policy}:{fraction!r}"
+    digest = hashlib.blake2s(label.encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
 
 @dataclass(frozen=True)
 class SweepRow:
@@ -142,6 +171,9 @@ class SweepResult:
     replay_seconds: float
     #: Referenced-store bytes per prepared stream key (scenario, seed).
     total_bytes: Dict["StreamKey", int] = field(default_factory=dict)
+    #: Grid cells served by the one-pass stack engine vs per-cell DES.
+    stack_cells: int = 0
+    des_cells: int = 0
 
     @property
     def elapsed_seconds(self) -> float:
@@ -217,7 +249,8 @@ class SweepResult:
         lines = [table.render()]
         lines.append(
             f"prepare {self.prepare_seconds:.1f}s + replay {self.replay_seconds:.1f}s "
-            f"({self.config.n_cells} cells, {self.config.workers} workers)"
+            f"({self.config.n_cells} cells: {self.stack_cells} stack-engine + "
+            f"{self.des_cells} DES, {self.config.workers} workers)"
         )
         return "\n".join(lines)
 
@@ -251,30 +284,48 @@ def _open_stream(key: StreamKey) -> Tuple[List[EventBatch], int]:
     return batches, total_bytes
 
 
-def _run_cell(task: Tuple[StreamKey, str, float, Optional[float]]) -> SweepRow:
-    key, _, _, _ = task
-    return _run_cell_with({key: _open_stream(key)}, task)
+def _run_cells(task: SweepTask) -> List[SweepRow]:
+    key = task[0]
+    return _run_cells_with({key: _open_stream(key)}, task)
 
 
-def _run_cell_with(
+def _run_cells_with(
     streams: Dict[StreamKey, Tuple[List[EventBatch], int]],
-    task: Tuple[StreamKey, str, float, Optional[float]],
-) -> SweepRow:
-    key, policy, fraction, writeback_delay = task
+    task: SweepTask,
+) -> List[SweepRow]:
+    """Replay one task: every fraction of a stack group, or one DES cell."""
+    key, policy, fractions, writeback_delay, use_stack = task
     scenario, seed = key
     batches, total_bytes = streams[key]
-    capacity = max(int(total_bytes * fraction), 1)
-    metrics = replay_policy(
-        batches, policy, capacity, writeback_delay=writeback_delay
-    )
-    return SweepRow(
-        seed=seed,
-        policy=policy,
-        capacity_fraction=fraction,
-        capacity_bytes=capacity,
-        metrics=metrics,
-        scenario=scenario,
-    )
+    capacities = [
+        max(int(total_bytes * fraction), 1) for fraction in fractions
+    ]
+    if use_stack:
+        rows = multi_capacity_replay(
+            batches, policy, capacities, writeback_delay=writeback_delay
+        )
+    else:
+        rows = [
+            replay_policy(
+                batches,
+                policy,
+                capacity,
+                writeback_delay=writeback_delay,
+                policy_seed=cell_seed(seed, scenario, policy, fraction),
+            )
+            for fraction, capacity in zip(fractions, capacities)
+        ]
+    return [
+        SweepRow(
+            seed=seed,
+            policy=policy,
+            capacity_fraction=fraction,
+            capacity_bytes=capacity,
+            metrics=metrics,
+            scenario=scenario,
+        )
+        for fraction, capacity, metrics in zip(fractions, capacities, rows)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -349,12 +400,25 @@ def run_sweep(config: SweepConfig) -> SweepResult:
         stores = _prepare_stores(config, cache_dir)
         prepared = _time.perf_counter()
 
-        tasks = [
-            (key, policy, fraction, config.writeback_delay)
-            for key in config.stream_keys
-            for policy in config.policies
-            for fraction in config.capacity_fractions
-        ]
+        # One task per (stream, policy, fraction) DES cell, but a single
+        # task covering the whole fraction grid when the stack engine
+        # can scan it at every capacity at once.
+        tasks: List[SweepTask] = []
+        stack_cells = 0
+        for key in config.stream_keys:
+            for policy in config.policies:
+                if resolve_engine(config.engine, policy):
+                    tasks.append(
+                        (key, policy, config.capacity_fractions,
+                         config.writeback_delay, True)
+                    )
+                    stack_cells += len(config.capacity_fractions)
+                else:
+                    tasks.extend(
+                        (key, policy, (fraction,),
+                         config.writeback_delay, False)
+                        for fraction in config.capacity_fractions
+                    )
         if config.workers == 1:
             # Open in-process; memmapped batches stay locals so nothing
             # pins every seed's pages for the process lifetime.
@@ -362,7 +426,7 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                 key: (TraceStore.open(path).batches(), total)
                 for key, (path, total) in stores.items()
             }
-            rows = [_run_cell_with(opened, task) for task in tasks]
+            row_groups = [_run_cells_with(opened, task) for task in tasks]
         else:
             try:
                 ctx = multiprocessing.get_context("fork")
@@ -372,7 +436,8 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             with ctx.Pool(
                 processes=workers, initializer=_init_worker, initargs=(stores,)
             ) as pool:
-                rows = pool.map(_run_cell, tasks, chunksize=1)
+                row_groups = pool.map(_run_cells, tasks, chunksize=1)
+        rows = [row for group in row_groups for row in group]
         done = _time.perf_counter()
 
         return SweepResult(
@@ -381,6 +446,8 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             prepare_seconds=prepared - start,
             replay_seconds=done - prepared,
             total_bytes={key: total for key, (_, total) in stores.items()},
+            stack_cells=stack_cells,
+            des_cells=config.n_cells - stack_cells,
         )
     finally:
         if tempdir is not None:

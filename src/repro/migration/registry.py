@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from repro.migration.basic import (
     FIFOPolicy,
@@ -36,14 +37,28 @@ def available_policies() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def make_policy(name: str) -> MigrationPolicy:
-    """Instantiate a policy by name."""
+def make_policy(name: str, *, seed: Optional[int] = None) -> MigrationPolicy:
+    """Instantiate a policy by name.
+
+    ``seed`` reseeds stochastic policies (any factory accepting a
+    ``seed`` keyword, currently ``random``) so independent experiment
+    cells draw independent victim streams instead of all sharing the
+    factory default.  Deterministic policies ignore it.
+    """
     try:
-        return _REGISTRY[name]()
+        factory = _REGISTRY[name]
     except KeyError as exc:
         raise ValueError(
             f"unknown policy {name!r}; choose from {available_policies()}"
         ) from exc
+    if seed is not None:
+        try:
+            params = inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # pragma: no cover - C factories
+            params = {}
+        if "seed" in params:
+            return factory(seed=seed)
+    return factory()
 
 
 def register_policy(name: str, factory: PolicyFactory) -> None:

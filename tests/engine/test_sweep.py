@@ -28,6 +28,17 @@ def test_sweep_config_validation():
         SweepConfig(policies=("lru",), capacity_fractions=())
     with pytest.raises(ValueError):
         SweepConfig(policies=("lru",), capacity_fractions=(0.01,), workers=0)
+    with pytest.raises(ValueError, match="unknown engine"):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,),
+                    engine="warp")
+    # engine="stack" must fail fast on policies the stack engine cannot
+    # replay (stochastic / history-dependent ranks, and OPT).
+    for policy in ("random", "stp", "saac", "opt"):
+        with pytest.raises(ValueError, match="not stack-replayable"):
+            SweepConfig(policies=("lru", policy),
+                        capacity_fractions=(0.01,), engine="stack")
+    SweepConfig(policies=("lru", "fifo", "mru"),
+                capacity_fractions=(0.01,), engine="stack")
 
 
 @pytest.fixture(scope="module")
@@ -117,9 +128,9 @@ def test_initializer_payload_contains_no_ndarrays(tmp_path):
 
 
 def test_store_backed_sweep_matches_in_memory_replay(serial_result):
-    """Rows off memmapped stores equal _run_cell_with on in-memory streams."""
+    """Rows off memmapped stores equal _run_cells_with on in-memory streams."""
     from repro.engine.replay import prepare_stream
-    from repro.engine.sweep import _run_cell_with, _seed_config
+    from repro.engine.sweep import _run_cells_with, _seed_config
     from repro.workload.generator import generate_trace
 
     config = serial_result.config
@@ -132,10 +143,11 @@ def test_store_backed_sweep_matches_in_memory_replay(serial_result):
         )
     key = lambda r: (r.seed, r.policy, r.capacity_fraction)
     for row in sorted(serial_result.rows, key=key):
-        want = _run_cell_with(
+        # Per-cell DES task: the stack engine is pinned to it elsewhere.
+        (want,) = _run_cells_with(
             streams,
-            ((None, row.seed), row.policy, row.capacity_fraction,
-             config.writeback_delay),
+            ((None, row.seed), row.policy, (row.capacity_fraction,),
+             config.writeback_delay, False),
         )
         assert row.capacity_bytes == want.capacity_bytes
         assert dataclasses.asdict(row.metrics) == dataclasses.asdict(want.metrics)
@@ -179,6 +191,76 @@ def test_sweep_rejects_unknown_scenarios():
             policies=("lru",), capacity_fractions=(0.02,),
             scenarios=("not-a-scenario",),
         )
+
+
+# ---------------------------------------------------------------------------
+# Engine selection (stack vs DES)
+
+
+@pytest.fixture(scope="module")
+def engine_results():
+    kwargs = dict(
+        policies=("lru", "fifo", "random"),
+        capacity_fractions=(0.01, 0.04),
+        seeds=(0,),
+        **TINY,
+    )
+    return (
+        run_sweep(SweepConfig(engine="auto", **kwargs)),
+        run_sweep(SweepConfig(engine="des", **kwargs)),
+    )
+
+
+def test_engine_auto_matches_des_exactly(engine_results):
+    """Collapsing capacity cells into one stack scan changes nothing."""
+    auto, des = engine_results
+    assert len(auto.rows) == len(des.rows) == 6
+    for a, d in zip(auto.rows, des.rows):
+        assert (a.seed, a.policy, a.capacity_fraction) == (
+            d.seed, d.policy, d.capacity_fraction
+        )
+        assert a.capacity_bytes == d.capacity_bytes
+        assert dataclasses.asdict(a.metrics) == dataclasses.asdict(d.metrics)
+
+
+def test_engine_cell_accounting(engine_results):
+    auto, des = engine_results
+    # lru + fifo ride the stack engine (2 policies x 2 fractions).
+    assert (auto.stack_cells, auto.des_cells) == (4, 2)
+    assert (des.stack_cells, des.des_cells) == (0, 6)
+    assert "4 stack-engine + 2 DES" in auto.render()
+
+
+def test_stack_groups_parallelize(engine_results):
+    auto, _ = engine_results
+    config = dataclasses.replace(auto.config, workers=2)
+    parallel = run_sweep(config)
+    for a, b in zip(auto.rows, parallel.rows):
+        assert dataclasses.asdict(a.metrics) == dataclasses.asdict(b.metrics)
+
+
+def test_random_policy_cells_draw_independent_rngs(engine_results):
+    """Regression: the registry default seeded every cell with seed=0, so
+    all random cells shared one victim RNG.  Cells must differ and be
+    deterministic across runs."""
+    from repro.engine.sweep import cell_seed
+
+    auto, des = engine_results
+    rand = [r for r in auto.rows if r.policy == "random"]
+    assert len(rand) == 2
+    seeds = {
+        cell_seed(r.seed, r.scenario, r.policy, r.capacity_fraction)
+        for r in rand
+    }
+    assert len(seeds) == 2  # distinct per cell ...
+    assert cell_seed(0, None, "random", 0.01) == cell_seed(
+        0, None, "random", 0.01
+    )  # ... but stable across calls/processes
+    # And the sweep threads them through: both engines' random rows used
+    # the same per-cell seeds, so they agree.
+    rand_des = [r for r in des.rows if r.policy == "random"]
+    for a, d in zip(rand, rand_des):
+        assert dataclasses.asdict(a.metrics) == dataclasses.asdict(d.metrics)
 
 
 def test_sweep_reuses_cache_dir(tmp_path):

@@ -220,6 +220,32 @@ def test_make_policy():
         make_policy("bogus")
 
 
+def test_make_policy_seeds_stochastic_policies():
+    """Regression: every sweep cell used to get the factory default
+    ``RandomPolicy(seed=0)``, so all cells shared one victim RNG."""
+    a = _loaded(make_policy("random", seed=5)).select_victims(1, now=100.0)
+    b = _loaded(make_policy("random", seed=5)).select_victims(1, now=100.0)
+    assert a == b  # deterministic per seed
+    draws = {
+        tuple(
+            _loaded(make_policy("random", seed=seed)).select_victims(
+                3, now=100.0
+            )
+        )
+        for seed in range(8)
+    }
+    assert len(draws) > 1  # different seeds draw different victim streams
+    # Deterministic policies accept and ignore the seed.
+    assert isinstance(make_policy("lru", seed=7), LRUPolicy)
+
+
+def test_inclusion_preserving_flags():
+    expected = {"lru", "mru", "fifo", "largest-first", "smallest-first"}
+    for name in available_policies():
+        policy = make_policy(name)
+        assert policy.is_inclusion_preserving == (name in expected), name
+
+
 def test_register_policy_rejects_duplicates():
     with pytest.raises(ValueError):
         register_policy("lru", LRUPolicy)
