@@ -11,6 +11,7 @@ Subcommands::
     bench      cold-generation benchmark + per-stage profile table
     trace      columnar trace-store utilities (info / import / verify)
     scenario   declarative workloads (list / show / run / compare)
+    runs       checkpointed sweep runs (list / show)
 
 A ``--cache-dir`` (or ``--store``) points at the content-addressed
 columnar trace store (:mod:`repro.engine.store`): generate once, analyze
@@ -169,6 +170,9 @@ def _parse_capacities(value: str):
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine import SweepConfig, run_sweep
 
+    if args.resume and args.run_dir is None:
+        print("sweep: --resume requires --run-dir", file=sys.stderr)
+        return 2
     config = SweepConfig(
         policies=tuple(part for part in args.policies.split(",") if part),
         capacity_fractions=args.capacities,
@@ -181,10 +185,118 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             part for part in (args.scenarios or "").split(",") if part
         ),
         engine=args.engine,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        run_dir=args.run_dir,
+        resume=args.resume,
     )
     result = run_sweep(config)
     print(result.render())
     print(f"wall-clock: {result.elapsed_seconds:.1f}s")
+    if result.run_path is not None:
+        print(f"run dir: {result.run_path}")
+    # A degraded grid (cells failed after retries) still prints, but the
+    # exit code tells scripts the table is incomplete.
+    return 1 if result.failed_cells else 0
+
+
+def _resolve_run(runs_root: str, name: str) -> Optional[dict]:
+    """A run record by directory name, config-hash prefix, or unique match."""
+    from repro.engine import list_runs
+
+    runs = list_runs(runs_root)
+    matches = [
+        run
+        for run in runs
+        if run["name"] == name
+        or (run["config_hash"] or "").startswith(name)
+        or run["name"] == f"sweep-{name}"
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.analysis.render import TextTable
+    from repro.engine import list_runs
+
+    runs = list_runs(args.runs_dir)
+    if not runs:
+        print(f"no runs under {args.runs_dir}")
+        return 0
+    table = TextTable(
+        ["run", "status", "tasks", "rows", "failed", "retries"],
+        title=f"Checkpointed runs in {args.runs_dir}",
+    )
+    for run in runs:
+        summary = run["summary"] or {}
+        n_tasks = summary.get("n_tasks")
+        tasks = (
+            f"{run['checkpointed']}/{n_tasks}"
+            if n_tasks is not None
+            else str(run["checkpointed"])
+        )
+        table.add_row(
+            run["name"],
+            run["status"],
+            tasks,
+            str(summary.get("rows", "-")),
+            str(len(summary.get("failed_cells", []) or []) or "-"),
+            str(summary.get("retries", "-")),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.render import TextTable
+    from repro.engine.resilience import load_checkpoints
+
+    run = _resolve_run(args.runs_dir, args.run)
+    if run is None:
+        print(
+            f"runs show: no unique run matching {args.run!r} "
+            f"under {args.runs_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    summary = run["summary"]
+    print(f"run:     {run['name']}")
+    print(f"path:    {run['path']}")
+    print(f"config:  {run['config_hash']}")
+    print(f"status:  {run['status']}")
+    if summary is not None:
+        print(
+            f"tasks:   {summary.get('tasks_executed', '?')} executed + "
+            f"{summary.get('tasks_resumed', '?')} resumed + "
+            f"{summary.get('tasks_failed', '?')} failed "
+            f"(of {summary.get('n_tasks', '?')}), "
+            f"{summary.get('retries', '?')} retries"
+        )
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    records = load_checkpoints(run["path"])
+    if records:
+        table = TextTable(
+            ["task", "status", "attempts", "rows", "seconds"],
+            title=f"Checkpointed tasks ({len(records)})",
+        )
+        for key, record in sorted(records.items()):
+            task = record.get("task") or {}
+            label = (
+                f"{task.get('scenario') or 'classic'}:"
+                f"s{task.get('seed')}:{task.get('policy')}"
+            )
+            table.add_row(
+                f"{label} [{key[:8]}]",
+                str(record.get("status", "?")),
+                str(record.get("attempts", "?")),
+                str(len(record.get("rows", []) or [])),
+                f"{record.get('elapsed_seconds', 0.0):.2f}",
+            )
+        print(table.render())
     return 0
 
 
@@ -555,6 +667,19 @@ def build_parser() -> argparse.ArgumentParser:
                    "an inclusion-preserving policy in one stack-engine "
                    "pass and uses the DES elsewhere; 'stack'/'des' force "
                    "one side (default auto)")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="checkpoint every completed task into a "
+                   "content-addressed run directory under DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="skip tasks already checkpointed in --run-dir "
+                   "(Ctrl-C-then-rerun recovery)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per task after the first attempt "
+                   "(default 2; 0 disables)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task deadline: a hung task's pool is "
+                   "recycled and the task retried (default: none)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")
@@ -648,6 +773,25 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--overwrite", action="store_true",
                    help="replace an existing store at the target")
     t.set_defaults(func=_cmd_trace_import)
+
+    p = sub.add_parser(
+        "runs", help="inspect checkpointed sweep runs (list / show)"
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    r = runs_sub.add_parser("list", help="table of runs under a runs dir")
+    r.add_argument("runs_dir", help="runs root (the sweep --run-dir)")
+    r.set_defaults(func=_cmd_runs_list)
+
+    r = runs_sub.add_parser(
+        "show", help="one run's summary and per-task checkpoint table"
+    )
+    r.add_argument("runs_dir", help="runs root (the sweep --run-dir)")
+    r.add_argument("run", help="run directory name or config-hash prefix")
+    r.add_argument("--json", action="store_true",
+                   help="dump the run summary as JSON instead of the "
+                   "task table")
+    r.set_defaults(func=_cmd_runs_show)
 
     return parser
 

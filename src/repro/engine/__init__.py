@@ -28,12 +28,24 @@ from repro.engine.stackdist import (
     resolve_engine,
     supports_policy,
 )
+from repro.engine.resilience import (
+    FaultInjected,
+    RetryPolicy,
+    TaskOutcome,
+    fault_point,
+    list_runs,
+    load_run_summary,
+    run_supervised,
+    sweep_config_hash,
+)
 from repro.engine.store import (
     StoreError,
     TraceStore,
     config_hash,
     open_or_generate,
+    quarantine_slot,
     store_dir_for,
+    sweep_stale_staging,
 )
 from repro.engine.stream import (
     BlockDeduper,
@@ -43,6 +55,7 @@ from repro.engine.stream import (
     strip_errors,
 )
 from repro.engine.sweep import (
+    FailedCell,
     SweepConfig,
     SweepResult,
     SweepRow,
@@ -55,32 +68,43 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "DEVICE_ORDER",
     "EventBatch",
+    "FailedCell",
+    "FaultInjected",
+    "RetryPolicy",
     "STACK_POLICIES",
     "StackEngineError",
     "StoreError",
     "SweepConfig",
     "SweepResult",
     "SweepRow",
+    "TaskOutcome",
     "TraceStore",
     "build_policy",
     "config_hash",
+    "fault_point",
     "capacity_sweep_batches",
     "collect",
     "dedupe_blocks",
     "device_at",
     "device_index",
     "hsm_event_batches",
+    "list_runs",
+    "load_run_summary",
     "log_spaced_fractions",
     "multi_capacity_replay",
     "open_or_generate",
     "prepare_stream",
+    "quarantine_slot",
     "rechunk",
     "records_from_batch",
     "records_from_batches",
     "replay_policy",
     "resolve_engine",
+    "run_supervised",
     "run_sweep",
     "store_dir_for",
     "strip_errors",
     "supports_policy",
+    "sweep_config_hash",
+    "sweep_stale_staging",
 ]

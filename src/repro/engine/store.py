@@ -36,6 +36,7 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
@@ -45,6 +46,12 @@ from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
 
 #: On-disk format version; bump on any incompatible layout/manifest change.
 STORE_FORMAT_VERSION = 1
+
+#: Staging dirs (``.tmp-*``) older than this are debris from a killed
+#: writer and get reclaimed on the next writer's entry.  Generous: the
+#: slowest legitimate write (a dense multi-day scenario composition) is
+#: minutes, not hours.
+STAGING_TTL_SECONDS = 6 * 3600.0
 
 #: Manifest magic so ``trace info`` can reject arbitrary directories.
 STORE_MAGIC = "repro-trace-store"
@@ -198,13 +205,20 @@ class TraceStore:
                 )
             index = len(shards)
             checksums: Dict[str, str] = {}
+            nbytes: Dict[str, int] = {}
             for name in columns:
                 column = np.ascontiguousarray(getattr(batch, name))
                 file_path = path / _shard_file(index, name)
                 np.save(file_path, column)
                 checksums[name] = _sha256_file(file_path)
+                nbytes[name] = file_path.stat().st_size
             shards.append(
-                {"index": index, "n_events": len(batch), "checksums": checksums}
+                {
+                    "index": index,
+                    "n_events": len(batch),
+                    "checksums": checksums,
+                    "nbytes": nbytes,
+                }
             )
             n_events += len(batch)
             if t_first is None:
@@ -308,20 +322,45 @@ class TraceStore:
         """Materialized list of (still memory-mapped) batches."""
         return list(self.iter_batches(chunk_size=chunk_size))
 
-    def verify(self) -> None:
-        """Recompute every shard checksum; raise :class:`StoreError` on drift."""
+    def _check_shard_files(self, *, deep: bool) -> None:
+        """Shared shard validation: existence and recorded size always,
+        full checksum recomputation when ``deep``."""
         for shard in self.manifest["shards"]:
             index = int(shard["index"])
+            sizes = shard.get("nbytes") or {}
             for name, expected in shard["checksums"].items():
                 file_path = self.path / _shard_file(index, name)
                 if not file_path.is_file():
                     raise StoreError(f"missing shard file {file_path}")
-                actual = _sha256_file(file_path)
-                if actual != expected:
-                    raise StoreError(
-                        f"checksum mismatch in {file_path}: "
-                        f"{actual} != manifest {expected}"
-                    )
+                want = sizes.get(name)
+                if want is not None:
+                    have = file_path.stat().st_size
+                    if have != int(want):
+                        raise StoreError(
+                            f"truncated shard file {file_path}: "
+                            f"{have} bytes != manifest {int(want)}"
+                        )
+                if deep:
+                    actual = _sha256_file(file_path)
+                    if actual != expected:
+                        raise StoreError(
+                            f"checksum mismatch in {file_path}: "
+                            f"{actual} != manifest {expected}"
+                        )
+
+    def validate_light(self) -> None:
+        """Cheap structural check: every shard file present at its
+        recorded size.  Catches deleted and truncated shards without
+        re-hashing gigabytes (stores written before sizes were recorded
+        fall back to existence checks); :class:`StoreError` on damage.
+        """
+        self._check_shard_files(deep=False)
+
+    def verify(self) -> None:
+        """Full integrity check: missing files, truncation, checksum
+        drift -- in that order; raise :class:`StoreError` on the first.
+        """
+        self._check_shard_files(deep=True)
 
     def describe(self) -> str:
         """Human-readable manifest summary (the ``trace info`` body)."""
@@ -365,6 +404,57 @@ class TraceStore:
 
 # ---------------------------------------------------------------------------
 # The content-addressed cache
+
+
+def quarantine_slot(target: Union[str, Path], *, keep: int = 3) -> Optional[Path]:
+    """Move a damaged cache slot aside instead of deleting it.
+
+    The slot is renamed to ``<name>.quarantine-<timestamp>-<pid>`` next
+    to itself, preserving the evidence for a post-mortem while freeing
+    the address for regeneration.  Only the newest ``keep`` quarantines
+    per slot are retained (oldest pruned by the sortable timestamp in
+    the name), so repeated corruption cannot fill the disk.  Returns the
+    quarantine path, or None if the slot vanished first (a concurrent
+    healer won).
+    """
+    target = Path(target)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    quarantine = target.with_name(
+        f"{target.name}.quarantine-{stamp}-{os.getpid()}"
+    )
+    try:
+        os.replace(target, quarantine)
+    except FileNotFoundError:
+        return None
+    stale = sorted(target.parent.glob(f"{target.name}.quarantine-*"))
+    for old in stale[:-keep] if keep > 0 else stale:
+        shutil.rmtree(old, ignore_errors=True)
+    return quarantine
+
+
+def sweep_stale_staging(
+    cache_dir: Union[str, Path], ttl: float = STAGING_TTL_SECONDS
+) -> int:
+    """Reclaim staging debris (``.tmp-*``) left by killed writers.
+
+    A writer that died between ``mkdtemp`` and ``os.replace`` leaks its
+    staging directory forever -- nothing else references it.  Any
+    ``.tmp-*`` entry whose mtime is older than ``ttl`` seconds is
+    removed; young ones are left alone (they may belong to a live
+    concurrent writer).  Returns the number of directories removed.
+    """
+    cache_dir = Path(cache_dir)
+    cutoff = time.time() - ttl
+    removed = 0
+    for entry in cache_dir.glob(".tmp-*"):
+        try:
+            if entry.stat().st_mtime >= cutoff:
+                continue
+        except OSError:
+            continue  # raced with its writer's own rename/cleanup
+        shutil.rmtree(entry, ignore_errors=True)
+        removed += 1
+    return removed
 
 
 def open_cached(
@@ -411,6 +501,7 @@ def write_locked_dir(
     """
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
+    sweep_stale_staging(cache_dir)
     staging = Path(
         tempfile.mkdtemp(prefix=f".tmp-{target.name}-", dir=str(cache_dir))
     )
@@ -486,6 +577,7 @@ def open_or_generate(
     cache_dir: Union[str, Path],
     variant: str = "trace",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    check: str = "light",
 ) -> TraceStore:
     """The capture-once entry point: cached store, or generate and cache.
 
@@ -493,10 +585,26 @@ def open_or_generate(
     errors included); ``variant="hsm"``/``"hsm-raw"`` store the prepared
     HSM replay stream (error-stripped, size-clamped, core columns only;
     ``hsm`` additionally deduped) the sweep replays.
+
+    Self-healing: a cache hit is validated per ``check`` -- ``"light"``
+    (default) confirms every shard file exists at its recorded size,
+    ``"deep"`` re-hashes every shard, ``"open"`` trusts the manifest.  A
+    damaged slot is quarantined (:func:`quarantine_slot`) and the store
+    regenerated in its place, so bit rot or a truncated shard costs one
+    regeneration instead of crashing the consumer mid-read.
     """
+    if check not in ("open", "light", "deep"):
+        raise ValueError(f"unknown check level {check!r}")
     store = open_cached(config, cache_dir, variant)
     if store is not None:
-        return store
+        try:
+            if check == "light":
+                store.validate_light()
+            elif check == "deep":
+                store.verify()
+            return store
+        except StoreError:
+            quarantine_slot(store.path)
 
     from repro.workload.generator import generate_trace
 

@@ -9,19 +9,41 @@ of every seed's stream through the page cache.  With a ``cache_dir``
 the stores are content-addressed and persist across sweeps; without one
 they live in a temporary directory for the run.  Replay is the
 embarrassingly parallel part, so wall-clock scales with cores.
+
+Execution is fault-tolerant (:mod:`repro.engine.resilience`): workers
+run under supervision with per-task timeout and bounded retry, a
+SIGKILLed fork re-spawns the pool and requeues only the lost tasks, and
+exhausted retries degrade the result (``failed_cells`` annotated and
+rendered) instead of raising.  With a ``run_dir`` every completed task
+checkpoints into a content-addressed run directory, so an interrupted
+multi-hour grid resumes at task granularity (``resume=True`` /
+``repro sweep --resume``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
-import multiprocessing
+import json
 import tempfile
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.batch import DEFAULT_CHUNK_SIZE, EventBatch
 from repro.engine.replay import replay_policy
+from repro.engine.resilience import (
+    RetryPolicy,
+    TaskOutcome,
+    checkpoint_task,
+    fault_point,
+    load_checkpoints,
+    prepare_run_dir,
+    run_supervised,
+    sweep_config_hash,
+    write_run_summary,
+)
 from repro.engine.stackdist import multi_capacity_replay, resolve_engine
 from repro.engine.store import TraceStore, open_or_generate
 from repro.hsm.metrics import HSMMetrics
@@ -60,6 +82,21 @@ class SweepConfig:
     #: per-cell DES everywhere; ``stack`` insists on the stack engine
     #: and rejects policies it cannot replay.  Both engines are exact.
     engine: str = "auto"
+    #: Retries per task after the first attempt (0 disables retries).
+    max_retries: int = 2
+    #: Seconds an in-flight task may run before its pool is recycled and
+    #: the task retried; None disables the deadline.
+    task_timeout: Optional[float] = None
+    #: Exponential-backoff base delay between retries, seconds.
+    retry_backoff: float = 0.5
+    #: Runs root for task-granular checkpoints; None disables them.  The
+    #: run directory is ``<run_dir>/sweep-<config-hash>`` (the hash
+    #: excludes runtime knobs like workers -- see
+    #: :func:`repro.engine.resilience.sweep_config_hash`).
+    run_dir: Optional[str] = None
+    #: Skip tasks already checkpointed in the run directory (requires
+    #: ``run_dir``): the Ctrl-C-then-rerun recovery path.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         from repro.migration.registry import available_policies
@@ -81,6 +118,14 @@ class SweepConfig:
             raise ValueError("need at least one seed")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.resume and self.run_dir is None:
+            raise ValueError("resume requires a run_dir to resume from")
         if self.scenarios:
             from repro.scenarios.library import scenario_names
 
@@ -148,6 +193,34 @@ def cell_seed(seed: int, scenario: Optional[str], policy: str, fraction: float) 
     return int.from_bytes(digest[:4], "little")
 
 
+def task_payload(task: SweepTask) -> dict:
+    """One task's identity as a JSON-stable dict (the checkpoint key)."""
+    key, policy, fractions, writeback_delay, use_stack = task
+    scenario, seed = key
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "policy": policy,
+        "fractions": list(fractions),
+        "writeback_delay": writeback_delay,
+        "use_stack": use_stack,
+    }
+
+
+def task_key(task: SweepTask) -> str:
+    """Content hash of one task: its checkpoint-record filename."""
+    canon = json.dumps(task_payload(task), sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2s(canon.encode("utf-8")).hexdigest()[:20]
+
+
+def task_label(task: SweepTask) -> str:
+    """Human-readable task name (fault-point label, retry jitter key)."""
+    key, policy, fractions, _, _ = task
+    scenario, seed = key
+    frac = ",".join(f"{fraction:g}" for fraction in fractions)
+    return f"{scenario or 'classic'}:s{seed}:{policy}:{frac}"
+
+
 @dataclass(frozen=True)
 class SweepRow:
     """One replayed grid cell."""
@@ -159,6 +232,46 @@ class SweepRow:
     metrics: HSMMetrics
     #: Scenario the cell replayed, None for the classic workload grid.
     scenario: Optional[str] = None
+    #: Executions its task consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: ``ok`` | ``retried`` -- degraded cells have no row at all; they
+    #: appear in :attr:`SweepResult.failed_cells` instead.
+    status: str = "ok"
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """One grid cell whose task exhausted its retries."""
+
+    seed: int
+    policy: str
+    capacity_fraction: float
+    scenario: Optional[str]
+    attempts: int
+    error: str
+
+
+def row_to_dict(row: SweepRow) -> dict:
+    """A SweepRow as a JSON-safe dict (checkpoint record payload)."""
+    return dataclasses.asdict(row)
+
+
+def row_from_dict(data: dict) -> SweepRow:
+    """Rebuild a SweepRow from its checkpoint record, bit-identically.
+
+    JSON floats round-trip exactly (``repr`` shortest-float), so a
+    resumed row equals the row the original run computed.
+    """
+    return SweepRow(
+        seed=int(data["seed"]),
+        policy=data["policy"],
+        capacity_fraction=float(data["capacity_fraction"]),
+        capacity_bytes=int(data["capacity_bytes"]),
+        metrics=HSMMetrics(**data["metrics"]),
+        scenario=data.get("scenario"),
+        attempts=int(data.get("attempts", 1)),
+        status=data.get("status", "ok"),
+    )
 
 
 @dataclass
@@ -174,6 +287,16 @@ class SweepResult:
     #: Grid cells served by the one-pass stack engine vs per-cell DES.
     stack_cells: int = 0
     des_cells: int = 0
+    #: Cells whose task exhausted its retries (degraded, not raised).
+    failed_cells: List[FailedCell] = field(default_factory=list)
+    #: Tasks executed this run / restored from checkpoints / failed.
+    tasks_executed: int = 0
+    tasks_resumed: int = 0
+    tasks_failed: int = 0
+    #: Extra attempts consumed beyond each task's first try.
+    retries: int = 0
+    #: Checkpoint run directory (None when checkpointing was off).
+    run_path: Optional[str] = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -187,10 +310,9 @@ class SweepResult:
         single-workload grid and ``(scenario, policy, capacity_fraction)``
         when the sweep covered scenarios.  Every counter field sums
         across seeds; ``span_seconds`` is a duration, so the grid cell
-        keeps the longest seed's span.
+        keeps the longest seed's span.  Failed cells contribute nothing:
+        a cell with every seed failed is absent from the result.
         """
-        import dataclasses
-
         counter_names = [
             field.name
             for field in dataclasses.fields(HSMMetrics)
@@ -207,13 +329,29 @@ class SweepResult:
             bucket.span_seconds = max(bucket.span_seconds, row.metrics.span_seconds)
         return merged
 
+    def _cell_health(self) -> Tuple[Dict[tuple, List[str]], Dict[tuple, int]]:
+        """Row statuses and failed-seed counts per (scenario?, policy, frac)."""
+        statuses: Dict[tuple, List[str]] = {}
+        for row in self.rows:
+            key: tuple = (row.policy, row.capacity_fraction)
+            if row.scenario is not None:
+                key = (row.scenario,) + key
+            statuses.setdefault(key, []).append(row.status)
+        failed: Dict[tuple, int] = {}
+        for cell in self.failed_cells:
+            key = (cell.policy, cell.capacity_fraction)
+            if cell.scenario is not None:
+                key = (cell.scenario,) + key
+            failed[key] = failed.get(key, 0) + 1
+        return statuses, failed
+
     def render(self) -> str:
         """The Section 6 comparison table over the whole grid."""
         from repro.analysis.render import TextTable
 
         scenarios = self.config.scenarios
         headers = ["policy", "capacity", "miss ratio", "capacity-miss",
-                   "person-min/day"]
+                   "person-min/day", "status"]
         if scenarios:
             headers.insert(0, "scenario")
         table = TextTable(
@@ -226,23 +364,36 @@ class SweepResult:
             ),
         )
         merged = self.aggregated()
+        statuses, failed = self._cell_health()
+        n_seeds = len(self.config.seeds)
         for scenario in scenarios or (None,):
             for policy in self.config.policies:
                 for fraction in self.config.capacity_fractions:
                     key: tuple = (policy, fraction)
                     if scenario is not None:
                         key = (scenario,) + key
-                    metrics = merged[key]
-                    per_seed = (
-                        metrics.person_minutes_per_day() / len(self.config.seeds)
-                    )
-                    cells = [
-                        policy,
-                        f"{fraction:.3%}",
-                        f"{metrics.read_miss_ratio:.4f}",
-                        f"{metrics.capacity_miss_ratio:.4f}",
-                        f"{per_seed:.2f}",
-                    ]
+                    n_failed = failed.get(key, 0)
+                    if n_failed:
+                        status = f"failed({n_failed}/{n_seeds})"
+                    elif "retried" in statuses.get(key, ()):
+                        status = "retried"
+                    else:
+                        status = "ok"
+                    metrics = merged.get(key)
+                    if metrics is None:
+                        cells = [policy, f"{fraction:.3%}", "--", "--", "--",
+                                 status]
+                    else:
+                        n_ok = max(n_seeds - n_failed, 1)
+                        per_seed = metrics.person_minutes_per_day() / n_ok
+                        cells = [
+                            policy,
+                            f"{fraction:.3%}",
+                            f"{metrics.read_miss_ratio:.4f}",
+                            f"{metrics.capacity_miss_ratio:.4f}",
+                            f"{per_seed:.2f}",
+                            status,
+                        ]
                     if scenario is not None:
                         cells.insert(0, scenario)
                     table.add_row(*cells)
@@ -252,6 +403,19 @@ class SweepResult:
             f"({self.config.n_cells} cells: {self.stack_cells} stack-engine + "
             f"{self.des_cells} DES, {self.config.workers} workers)"
         )
+        if self.tasks_resumed or self.retries or self.failed_cells:
+            n_tasks = self.tasks_executed + self.tasks_resumed + self.tasks_failed
+            lines.append(
+                f"resilience: {self.tasks_executed} tasks run + "
+                f"{self.tasks_resumed} resumed from checkpoints + "
+                f"{self.tasks_failed} failed (of {n_tasks}), "
+                f"{self.retries} retries"
+            )
+        if self.failed_cells:
+            lines.append(
+                f"WARNING: {len(self.failed_cells)} cells failed after "
+                f"retries were exhausted (see status column)"
+            )
         return "\n".join(lines)
 
 
@@ -285,6 +449,7 @@ def _open_stream(key: StreamKey) -> Tuple[List[EventBatch], int]:
 
 
 def _run_cells(task: SweepTask) -> List[SweepRow]:
+    fault_point("worker-task", task_label(task))
     key = task[0]
     return _run_cells_with({key: _open_stream(key)}, task)
 
@@ -353,6 +518,11 @@ def _prepare_stores(
     returned payload is what the pool initializer ships to workers, so
     it must stay plain strings and ints -- no ndarrays (the whole point
     of the store is that workers memmap instead of unpickling).
+
+    Cached slots are validated on the way in (shards present at their
+    recorded sizes); a damaged slot is quarantined and regenerated, so
+    a flipped bit or truncated shard degrades to a regeneration instead
+    of a mid-sweep crash.
     """
     stores: Dict[StreamKey, Tuple[str, int]] = {}
     for key in config.stream_keys:
@@ -387,38 +557,145 @@ def _prepare_stores(
     return stores
 
 
+def _build_tasks(config: SweepConfig) -> Tuple[List[SweepTask], int]:
+    """The task list: one per DES cell, one per stack-engine group."""
+    tasks: List[SweepTask] = []
+    stack_cells = 0
+    for key in config.stream_keys:
+        for policy in config.policies:
+            if resolve_engine(config.engine, policy):
+                tasks.append(
+                    (key, policy, config.capacity_fractions,
+                     config.writeback_delay, True)
+                )
+                stack_cells += len(config.capacity_fractions)
+            else:
+                tasks.extend(
+                    (key, policy, (fraction,),
+                     config.writeback_delay, False)
+                    for fraction in config.capacity_fractions
+                )
+    return tasks, stack_cells
+
+
+def _summary_payload(
+    config: SweepConfig, *, status: str, n_tasks: int, executed: int,
+    resumed: int, failed_tasks: int, retries: int,
+    failed_cells: List[FailedCell], n_rows: int,
+    prepare_seconds: float, replay_seconds: float,
+) -> dict:
+    return {
+        "config_hash": sweep_config_hash(config),
+        "config": dataclasses.asdict(config),
+        "status": status,
+        "n_tasks": n_tasks,
+        "n_cells": config.n_cells,
+        "tasks_executed": executed,
+        "tasks_resumed": resumed,
+        "tasks_failed": failed_tasks,
+        "retries": retries,
+        "rows": n_rows,
+        "failed_cells": [dataclasses.asdict(cell) for cell in failed_cells],
+        "prepare_seconds": prepare_seconds,
+        "replay_seconds": replay_seconds,
+        "workers": config.workers,
+    }
+
+
 def run_sweep(config: SweepConfig) -> SweepResult:
-    """Run the full grid; parallel across cells when ``workers > 1``."""
+    """Run the full grid; parallel across cells when ``workers > 1``.
+
+    Never raises for worker faults: crashed, hung, or repeatedly failing
+    tasks retry under the config's :class:`RetryPolicy` budget and then
+    degrade into ``failed_cells``.  ``KeyboardInterrupt`` still
+    propagates -- after terminating the pool, cleaning the temp cache
+    dir, and (with a ``run_dir``) writing an ``interrupted`` summary, so
+    a rerun with ``resume=True`` recovers at task granularity.
+    """
     start = _time.perf_counter()
     tempdir: Optional[tempfile.TemporaryDirectory] = None
     if config.cache_dir is None:
-        tempdir = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        tempdir = tempfile.TemporaryDirectory(
+            prefix="repro-sweep-", ignore_cleanup_errors=True
+        )
         cache_dir = tempdir.name
     else:
         cache_dir = config.cache_dir
+
+    run_dir: Optional[Path] = None
+    if config.run_dir is not None:
+        run_dir = prepare_run_dir(config.run_dir, config)
+    checkpoints = (
+        load_checkpoints(run_dir)
+        if run_dir is not None and config.resume
+        else {}
+    )
+
+    # Mutated by the per-task completion hook below; read by both the
+    # success path and the KeyboardInterrupt summary.
+    results: Dict[int, List[SweepRow]] = {}
+    failed_cells: List[FailedCell] = []
+    counters = {"executed": 0, "failed": 0, "retries": 0}
+    tasks: List[SweepTask] = []
+    prepared = start
+
     try:
         stores = _prepare_stores(config, cache_dir)
         prepared = _time.perf_counter()
 
-        # One task per (stream, policy, fraction) DES cell, but a single
-        # task covering the whole fraction grid when the stack engine
-        # can scan it at every capacity at once.
-        tasks: List[SweepTask] = []
-        stack_cells = 0
-        for key in config.stream_keys:
-            for policy in config.policies:
-                if resolve_engine(config.engine, policy):
-                    tasks.append(
-                        (key, policy, config.capacity_fractions,
-                         config.writeback_delay, True)
+        tasks, stack_cells = _build_tasks(config)
+        keys = [task_key(task) for task in tasks]
+        labels = [task_label(task) for task in tasks]
+
+        # Resume: restore rows for checkpointed tasks, run the rest.
+        todo: List[int] = []
+        for index, key in enumerate(keys):
+            record = checkpoints.get(key)
+            if record is not None and record.get("status") in ("ok", "retried"):
+                results[index] = [row_from_dict(r) for r in record["rows"]]
+            else:
+                todo.append(index)
+        resumed = len(tasks) - len(todo)
+
+        retry = RetryPolicy(
+            max_retries=config.max_retries,
+            task_timeout=config.task_timeout,
+            backoff=config.retry_backoff,
+        )
+
+        def on_complete(outcome: TaskOutcome) -> None:
+            index = todo[outcome.index]
+            counters["retries"] += outcome.attempts - 1
+            if outcome.status == "failed":
+                counters["failed"] += 1
+                (scenario, seed), policy, fractions, _, _ = tasks[index]
+                failed_cells.extend(
+                    FailedCell(
+                        seed=seed, policy=policy, capacity_fraction=fraction,
+                        scenario=scenario, attempts=outcome.attempts,
+                        error=outcome.error or "",
                     )
-                    stack_cells += len(config.capacity_fractions)
-                else:
-                    tasks.extend(
-                        (key, policy, (fraction,),
-                         config.writeback_delay, False)
-                        for fraction in config.capacity_fractions
+                    for fraction in fractions
+                )
+            else:
+                counters["executed"] += 1
+                results[index] = [
+                    dataclasses.replace(
+                        row, attempts=outcome.attempts, status=outcome.status
                     )
+                    for row in outcome.result
+                ]
+            if run_dir is not None:
+                checkpoint_task(run_dir, keys[index], {
+                    "task": task_payload(tasks[index]),
+                    "status": outcome.status,
+                    "attempts": outcome.attempts,
+                    "error": outcome.error,
+                    "elapsed_seconds": outcome.elapsed_seconds,
+                    "rows": [row_to_dict(row) for row in results.get(index, [])],
+                })
+                fault_point("parent-checkpoint", labels[index])
+
         if config.workers == 1:
             # Open in-process; memmapped batches stay locals so nothing
             # pins every seed's pages for the process lifetime.
@@ -426,21 +703,39 @@ def run_sweep(config: SweepConfig) -> SweepResult:
                 key: (TraceStore.open(path).batches(), total)
                 for key, (path, total) in stores.items()
             }
-            row_groups = [_run_cells_with(opened, task) for task in tasks]
+
+            def serial_worker(task: SweepTask) -> List[SweepRow]:
+                fault_point("worker-task", task_label(task))
+                return _run_cells_with(opened, task)
+
+            run_supervised(
+                serial_worker,
+                [tasks[index] for index in todo],
+                workers=1,
+                retry=retry,
+                labels=[labels[index] for index in todo],
+                on_complete=on_complete,
+            )
         else:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX hosts
-                ctx = multiprocessing.get_context("spawn")
-            workers = min(config.workers, len(tasks))
-            with ctx.Pool(
-                processes=workers, initializer=_init_worker, initargs=(stores,)
-            ) as pool:
-                row_groups = pool.map(_run_cells, tasks, chunksize=1)
-        rows = [row for group in row_groups for row in group]
+            run_supervised(
+                _run_cells,
+                [tasks[index] for index in todo],
+                workers=config.workers,
+                retry=retry,
+                labels=[labels[index] for index in todo],
+                initializer=_init_worker,
+                initargs=(stores,),
+                on_complete=on_complete,
+            )
+
+        rows = [
+            row
+            for index in range(len(tasks))
+            for row in results.get(index, [])
+        ]
         done = _time.perf_counter()
 
-        return SweepResult(
+        result = SweepResult(
             config=config,
             rows=rows,
             prepare_seconds=prepared - start,
@@ -448,7 +743,47 @@ def run_sweep(config: SweepConfig) -> SweepResult:
             total_bytes={key: total for key, (_, total) in stores.items()},
             stack_cells=stack_cells,
             des_cells=config.n_cells - stack_cells,
+            failed_cells=failed_cells,
+            tasks_executed=counters["executed"],
+            tasks_resumed=resumed,
+            tasks_failed=counters["failed"],
+            retries=counters["retries"],
+            run_path=str(run_dir) if run_dir is not None else None,
         )
+        if run_dir is not None:
+            write_run_summary(run_dir, _summary_payload(
+                config,
+                status="degraded" if failed_cells else "complete",
+                n_tasks=len(tasks),
+                executed=counters["executed"],
+                resumed=resumed,
+                failed_tasks=counters["failed"],
+                retries=counters["retries"],
+                failed_cells=failed_cells,
+                n_rows=len(rows),
+                prepare_seconds=result.prepare_seconds,
+                replay_seconds=result.replay_seconds,
+            ))
+        return result
+    except KeyboardInterrupt:
+        # The supervisor already terminated (not joined) its pool on the
+        # way out; leave a durable partial-run record so a rerun with
+        # resume=True picks up from the checkpointed tasks.
+        if run_dir is not None:
+            write_run_summary(run_dir, _summary_payload(
+                config,
+                status="interrupted",
+                n_tasks=len(tasks),
+                executed=counters["executed"],
+                resumed=len(results) - counters["executed"],
+                failed_tasks=counters["failed"],
+                retries=counters["retries"],
+                failed_cells=failed_cells,
+                n_rows=sum(len(rows) for rows in results.values()),
+                prepare_seconds=prepared - start,
+                replay_seconds=_time.perf_counter() - prepared,
+            ))
+        raise
     finally:
         if tempdir is not None:
             tempdir.cleanup()

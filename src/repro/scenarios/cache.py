@@ -19,7 +19,13 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.engine.batch import DEFAULT_CHUNK_SIZE
-from repro.engine.store import MANIFEST_NAME, StoreError, TraceStore, write_locked_dir
+from repro.engine.store import (
+    MANIFEST_NAME,
+    StoreError,
+    TraceStore,
+    quarantine_slot,
+    write_locked_dir,
+)
 from repro.scenarios.compositor import ScenarioCompositor
 from repro.scenarios.spec import ScenarioSpec
 
@@ -85,10 +91,18 @@ def compose_cached(
     component at most once -- and a later scenario reusing a component
     pays nothing for it.  ``variant="scenario-hsm"`` persists the
     HSM-prepared replay stream instead of the raw composed one.
+
+    Self-healing like :func:`repro.engine.store.open_or_generate`: a hit
+    with missing or truncated shards is quarantined and recomposed
+    instead of crashing the consumer mid-read.
     """
     store = open_scenario_store(spec, cache_dir, variant)
     if store is not None:
-        return store
+        try:
+            store.validate_light()
+            return store
+        except StoreError:
+            quarantine_slot(store.path)
 
     compositor = ScenarioCompositor(
         spec, cache_dir=str(cache_dir), chunk_size=chunk_size

@@ -276,3 +276,107 @@ def test_overwrite_removes_orphan_shards(tmp_path):
     assert store.n_shards == 1
     assert len(list((tmp_path / "s").glob("shard-*.npy"))) == 9
     store.verify()
+
+
+# ---------------------------------------------------------------------------
+# Integrity checks and self-healing (the resilience layer)
+
+
+def test_verify_catches_truncated_shard(tmp_path):
+    store = TraceStore.write(tmp_path / "s", [small_batch()])
+    shard = next((tmp_path / "s").glob("shard-*.npy"))
+    data = shard.read_bytes()
+    shard.write_bytes(data[: len(data) // 2])
+    with pytest.raises(StoreError, match="truncated shard"):
+        TraceStore.open(tmp_path / "s").verify()
+    with pytest.raises(StoreError, match="truncated shard"):
+        TraceStore.open(tmp_path / "s").validate_light()
+
+
+def test_verify_catches_missing_shard(tmp_path):
+    store = TraceStore.write(tmp_path / "s", [small_batch()])
+    next((tmp_path / "s").glob("shard-*.npy")).unlink()
+    with pytest.raises(StoreError, match="missing shard"):
+        TraceStore.open(tmp_path / "s").verify()
+    with pytest.raises(StoreError, match="missing shard"):
+        TraceStore.open(tmp_path / "s").validate_light()
+    del store
+
+
+def test_validate_light_misses_bit_rot(tmp_path):
+    """Light validation is size-only by design: same-size damage needs
+    verify() -- that asymmetry is why open_or_generate has check levels."""
+    TraceStore.write(tmp_path / "s", [small_batch()])
+    shard = next((tmp_path / "s").glob("shard-*.npy"))
+    data = bytearray(shard.read_bytes())
+    data[-1] ^= 0xFF
+    shard.write_bytes(bytes(data))
+    store = TraceStore.open(tmp_path / "s")
+    store.validate_light()  # size unchanged: passes
+    with pytest.raises(StoreError, match="checksum mismatch"):
+        store.verify()
+
+
+def test_validate_light_tolerates_presize_manifests(tmp_path):
+    """Stores written before per-shard sizes were recorded still
+    validate (existence-only fallback), and still fail on deletion."""
+    TraceStore.write(tmp_path / "s", [small_batch()])
+    manifest_path = tmp_path / "s" / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    for entry in manifest["shards"]:
+        del entry["nbytes"]
+    manifest_path.write_text(json.dumps(manifest))
+    store = TraceStore.open(tmp_path / "s")
+    store.validate_light()
+    next((tmp_path / "s").glob("shard-*.npy")).unlink()
+    with pytest.raises(StoreError, match="missing shard"):
+        store.validate_light()
+
+
+def test_stale_staging_swept_by_ttl(tmp_path, test_trace):
+    """A SIGKILLed writer's staging dir is reclaimed once it ages past
+    the TTL; a fresh one (a live concurrent writer) is left alone."""
+    import os
+
+    from repro.engine.store import sweep_stale_staging
+
+    stale = tmp_path / ".tmp-deadslot-abc123"
+    stale.mkdir(parents=True)
+    (stale / "shard-00000.time.npy").write_bytes(b"partial write")
+    old = 7 * 3600.0
+    os.utime(stale, (stale.stat().st_atime - old, stale.stat().st_mtime - old))
+    fresh = tmp_path / ".tmp-liveslot-def456"
+    fresh.mkdir()
+
+    assert sweep_stale_staging(tmp_path) == 1
+    assert not stale.exists()
+    assert fresh.is_dir()
+
+    # The next writer entry does the same sweep implicitly.
+    stale.mkdir()
+    os.utime(stale, (stale.stat().st_atime - old, stale.stat().st_mtime - old))
+    write_cached(
+        NCAR_TEST_CONFIG, tmp_path, test_trace.iter_batches(),
+        total_bytes=test_trace.namespace.total_bytes,
+    )
+    assert not stale.exists()
+    assert fresh.is_dir()
+
+
+def test_trace_verify_cli_exit_codes(tmp_path, capsys):
+    from repro.core.cli import main
+
+    TraceStore.write(tmp_path / "s", [small_batch()])
+    assert main(["trace", "verify", str(tmp_path / "s")]) == 0
+    assert "ok:" in capsys.readouterr().out
+
+    shard = next((tmp_path / "s").glob("shard-*.npy"))
+    data = bytearray(shard.read_bytes())
+    data[-1] ^= 0xFF
+    shard.write_bytes(bytes(data))
+    assert main(["trace", "verify", str(tmp_path / "s")]) == 1
+    assert "checksum mismatch" in capsys.readouterr().err
+
+    shard.unlink()
+    assert main(["trace", "verify", str(tmp_path / "s")]) == 1
+    assert "missing shard" in capsys.readouterr().err

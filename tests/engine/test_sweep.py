@@ -39,6 +39,19 @@ def test_sweep_config_validation():
                         capacity_fractions=(0.01,), engine="stack")
     SweepConfig(policies=("lru", "fifo", "mru"),
                 capacity_fractions=(0.01,), engine="stack")
+    # Resilience knobs.
+    with pytest.raises(ValueError, match="max_retries"):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,),
+                    max_retries=-1)
+    with pytest.raises(ValueError, match="task_timeout"):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,),
+                    task_timeout=0.0)
+    with pytest.raises(ValueError, match="retry_backoff"):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,),
+                    retry_backoff=-0.5)
+    with pytest.raises(ValueError, match="resume requires a run_dir"):
+        SweepConfig(policies=("lru",), capacity_fractions=(0.01,),
+                    resume=True)
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +86,13 @@ def test_sweep_render_and_aggregate(serial_result):
     text = serial_result.render()
     assert "Section 6 sweep" in text
     assert "stp" in text and "lru" in text
+    # Every table carries the per-cell health column; a clean run is
+    # all-ok with no failed cells or retries.
+    assert "status" in text
+    assert "ok" in text
+    assert serial_result.failed_cells == []
+    assert all(row.status == "ok" and row.attempts == 1
+               for row in serial_result.rows)
 
 
 def test_sweep_capacity_monotone(serial_result):

@@ -1,0 +1,155 @@
+"""Direct tests for :func:`repro.engine.resilience.run_supervised`.
+
+Worker functions live at module level so the fork pool can pickle them;
+cross-attempt state (fail once, then succeed) coordinates through
+``O_EXCL`` flag files, never process memory.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.engine.resilience import (
+    RetryPolicy,
+    retry_delay,
+    run_supervised,
+)
+
+#: No-backoff budget: retries should not slow the suite down.
+FAST = RetryPolicy(max_retries=2, backoff=0.0)
+
+pool = pytest.mark.skipif(
+    os.name != "posix", reason="fork start-method requires POSIX"
+)
+
+
+def _flag_first_visit(path: str) -> bool:
+    """True exactly once per path, across any number of processes."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def scripted_worker(task: dict):
+    op = task["op"]
+    if op == "ok":
+        return task["value"]
+    if op == "raise":
+        raise ValueError(f"scripted failure: {task['value']}")
+    if op == "raise_once":
+        if _flag_first_visit(task["path"]):
+            raise ValueError("first attempt fails")
+        return task["value"]
+    if op == "kill_once":
+        if _flag_first_visit(task["path"]):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return task["value"]
+    if op == "sleep":
+        time.sleep(task["seconds"])
+        return task["value"]
+    raise AssertionError(f"unknown op {op!r}")
+
+
+def test_empty_task_list():
+    assert run_supervised(scripted_worker, []) == []
+
+
+def test_serial_results_in_task_order():
+    tasks = [{"op": "ok", "value": i} for i in range(5)]
+    outcomes = run_supervised(scripted_worker, tasks, workers=1, retry=FAST)
+    assert [o.result for o in outcomes] == list(range(5))
+    assert all(o.status == "ok" and o.attempts == 1 for o in outcomes)
+
+
+def test_serial_retries_then_succeeds(tmp_path):
+    tasks = [{"op": "raise_once", "path": str(tmp_path / "flag"), "value": 7}]
+    (outcome,) = run_supervised(scripted_worker, tasks, workers=1, retry=FAST)
+    assert outcome.status == "retried"
+    assert outcome.attempts == 2
+    assert outcome.result == 7
+
+
+def test_serial_exhausts_retries_without_raising():
+    tasks = [{"op": "raise", "value": "x"}, {"op": "ok", "value": 1}]
+    done = []
+    outcomes = run_supervised(
+        scripted_worker, tasks, workers=1,
+        retry=RetryPolicy(max_retries=1, backoff=0.0),
+        on_complete=done.append,
+    )
+    assert outcomes[0].status == "failed"
+    assert outcomes[0].attempts == 2
+    assert "ValueError" in outcomes[0].error
+    assert outcomes[1].status == "ok"
+    assert {o.index for o in done} == {0, 1}
+
+
+@pool
+def test_pool_runs_all_tasks():
+    tasks = [{"op": "ok", "value": i} for i in range(7)]
+    outcomes = run_supervised(scripted_worker, tasks, workers=3, retry=FAST)
+    assert [o.result for o in outcomes] == list(range(7))
+    assert all(o.status == "ok" for o in outcomes)
+
+
+@pool
+def test_pool_survives_sigkilled_worker(tmp_path):
+    """A SIGKILLed fork breaks the pool; the lost task is requeued and
+    every task still produces its result."""
+    tasks = [{"op": "ok", "value": i} for i in range(4)]
+    tasks.insert(2, {"op": "kill_once", "path": str(tmp_path / "kill"),
+                     "value": 99})
+    outcomes = run_supervised(scripted_worker, tasks, workers=2, retry=FAST)
+    assert [o.result for o in outcomes] == [0, 1, 99, 2, 3]
+    killed = outcomes[2]
+    assert killed.status == "retried"
+    assert killed.attempts >= 2
+    assert all(o.status in ("ok", "retried") for o in outcomes)
+
+
+@pool
+def test_pool_task_timeout_fails_without_joining():
+    """A hung task must be abandoned by deadline, not waited out."""
+    tasks = [{"op": "sleep", "seconds": 120.0, "value": 0},
+             {"op": "ok", "value": 1}]
+    start = time.monotonic()
+    outcomes = run_supervised(
+        scripted_worker, tasks, workers=2,
+        retry=RetryPolicy(max_retries=0, task_timeout=1.0, backoff=0.0),
+    )
+    elapsed = time.monotonic() - start
+    assert elapsed < 60.0, f"supervisor joined a hung worker ({elapsed:.0f}s)"
+    assert outcomes[0].status == "failed"
+    assert "timed out" in outcomes[0].error
+    assert outcomes[1].status in ("ok", "retried")
+    assert outcomes[1].result == 1
+
+
+@pool
+def test_pool_exhausted_retries_degrade_not_raise():
+    tasks = [{"op": "raise", "value": "poison"}, {"op": "ok", "value": 5}]
+    outcomes = run_supervised(
+        scripted_worker, tasks, workers=2,
+        retry=RetryPolicy(max_retries=1, backoff=0.0),
+    )
+    assert outcomes[0].status == "failed"
+    assert outcomes[0].attempts == 2
+    assert "poison" in outcomes[0].error
+    assert outcomes[1].result == 5
+
+
+def test_retry_delay_deterministic_and_bounded():
+    policy = RetryPolicy(backoff=0.5, backoff_cap=4.0)
+    delays = [retry_delay(policy, "task-a", attempt) for attempt in range(8)]
+    assert delays == [retry_delay(policy, "task-a", a) for a in range(8)]
+    assert all(0.0 < d <= 4.0 for d in delays)
+    # Different labels de-synchronize.
+    assert retry_delay(policy, "task-a", 0) != retry_delay(policy, "task-b", 0)
+    assert retry_delay(RetryPolicy(backoff=0.0), "task-a", 3) == 0.0
