@@ -12,6 +12,8 @@ Subcommands::
     trace      columnar trace-store utilities (info / import / verify)
     scenario   declarative workloads (list / show / run / compare)
     runs       checkpointed sweep runs (list / show)
+    serve      crash-recoverable HTTP replay service
+    session    client for a running service (submit / feed / metrics / ...)
 
 A ``--cache-dir`` (or ``--store``) points at the content-addressed
 columnar trace store (:mod:`repro.engine.store`): generate once, analyze
@@ -220,6 +222,8 @@ def _cmd_runs_list(args: argparse.Namespace) -> int:
     from repro.engine import list_runs
 
     runs = list_runs(args.runs_dir)
+    _cmd_runs_warn(runs)
+    runs = [run for run in runs if not run.get("corrupt")]
     if not runs:
         print(f"no runs under {args.runs_dir}")
         return 0
@@ -261,6 +265,12 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if run.get("corrupt"):
+        print(
+            f"warning: run dir {run['name']} is damaged "
+            f"({', '.join(run['corrupt'])}); showing what remains",
+            file=sys.stderr,
+        )
     summary = run["summary"]
     print(f"run:     {run['name']}")
     print(f"path:    {run['path']}")
@@ -596,6 +606,198 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_warn(runs) -> None:
+    """Print one stderr warning per damaged run dir (skip-and-warn)."""
+    for run in runs:
+        if run.get("corrupt"):
+            print(
+                f"warning: skipping corrupt run dir {run['name']} "
+                f"(damaged: {', '.join(run['corrupt'])})",
+                file=sys.stderr,
+            )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        queue_depth=args.queue_depth,
+        shed_backlog=args.shed_backlog,
+        request_timeout=args.request_timeout,
+        snapshot_every=args.snapshot_every,
+        drain_timeout=args.drain_timeout,
+    )
+    print(f"repro serve: data dir {args.data_dir}", file=sys.stderr)
+    summary = serve_forever(config)
+    drained = len(summary.get("sessions", {}))
+    print(
+        f"repro serve: drained {drained} session(s), "
+        f"clean={summary.get('clean')}",
+        file=sys.stderr,
+    )
+    return 0 if summary.get("clean") else 1
+
+
+def _serve_client(args: argparse.Namespace):
+    """A ServeClient for the addressed server (explicit or discovered)."""
+    from repro.serve.client import ServeClient, read_endpoint
+
+    host, port = args.host, args.port
+    if getattr(args, "data_dir", None) is not None:
+        host, port = read_endpoint(args.data_dir)
+    return ServeClient(host, port)
+
+
+def _session_command(command):
+    """Wrap a session command: server/client errors become exit 1."""
+    import functools
+    import urllib.error
+
+    @functools.wraps(command)
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.serve.client import ServeClientError
+
+        try:
+            return command(args)
+        except (ServeClientError, urllib.error.URLError, ConnectionError,
+                TimeoutError, OSError) as exc:
+            print(f"session: {exc}", file=sys.stderr)
+            return 1
+
+    return wrapped
+
+
+def _session_labels_and_scenario(args: argparse.Namespace):
+    """(tenant labels, scenario dict) for a submit, if one was named."""
+    if getattr(args, "scenario", None) is None and not getattr(args, "spec", None):
+        return ("all",), None
+    spec = _scenario_spec(args, name=getattr(args, "scenario", None))
+    return tuple(spec.tenants), spec.to_dict()
+
+
+@_session_command
+def _cmd_session_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.util.units import DAY as _DAY
+
+    try:
+        labels, scenario = _session_labels_and_scenario(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"session submit: {exc}", file=sys.stderr)
+        return 1
+    spec = {
+        "name": args.session,
+        "policy": args.policy,
+        "capacity_bytes": int(args.capacity_mb * 1024 * 1024),
+        "deduped": not args.no_dedupe,
+        "labels": list(labels),
+        "window_seconds": args.window_days * _DAY,
+        "policy_seed": args.seed,
+        "scenario": scenario,
+    }
+    created = _serve_client(args).submit(spec)
+    print(json.dumps(created, indent=1, sort_keys=True))
+    return 0
+
+
+@_session_command
+def _cmd_session_feed(args: argparse.Namespace) -> int:
+    from repro.engine import rechunk
+    from repro.scenarios.compositor import ScenarioCompositor
+
+    try:
+        spec = _scenario_spec(args, name=args.scenario)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"session feed: {exc}", file=sys.stderr)
+        return 1
+    compositor = ScenarioCompositor(spec, cache_dir=args.cache_dir)
+    batches = rechunk(compositor.iter_batches(), args.chunk_size)
+
+    def on_retry(reason: str, seq: int, delay: float) -> None:
+        print(
+            f"session feed: {reason} on chunk {seq}, retrying in {delay:g}s",
+            file=sys.stderr,
+        )
+
+    client = _serve_client(args)
+    chunks, events = client.feed_batches(
+        args.session, batches, on_retry=on_retry
+    )
+    print(f"fed {events} events in {chunks} chunks to {args.session}")
+    return 0
+
+
+@_session_command
+def _cmd_session_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    print(json.dumps(
+        _serve_client(args).metrics(args.session), indent=1, sort_keys=True
+    ))
+    return 0
+
+
+@_session_command
+def _cmd_session_finalize(args: argparse.Namespace) -> int:
+    import json
+
+    print(json.dumps(
+        _serve_client(args).finalize(args.session), indent=1, sort_keys=True
+    ))
+    return 0
+
+
+@_session_command
+def _cmd_session_list(args: argparse.Namespace) -> int:
+    from repro.analysis.render import TextTable
+
+    sessions = _serve_client(args).list_sessions()
+    if not sessions:
+        print("no sessions")
+        return 0
+    table = TextTable(
+        ["session", "policy", "chunks", "events", "backlog", "state"],
+        title="Live replay sessions",
+    )
+    for session in sessions:
+        table.add_row(
+            session["name"],
+            session["policy"],
+            str(session["applied_chunks"]),
+            str(session["events_ingested"]),
+            str(session.get("backlog", 0)),
+            "finalized" if session["finalized"] else "live",
+        )
+    print(table.render())
+    return 0
+
+
+@_session_command
+def _cmd_session_ping(args: argparse.Namespace) -> int:
+    import json
+
+    client = _serve_client(args)
+    print(json.dumps(
+        {"health": client.health(), "ready": client.ready()},
+        indent=1, sort_keys=True,
+    ))
+    return 0
+
+
+def _add_session_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8023,
+                        help="server port (default 8023)")
+    parser.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="discover host/port from a running server's "
+                        "data dir instead")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -792,6 +994,97 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the run summary as JSON instead of the "
                    "task table")
     r.set_defaults(func=_cmd_runs_show)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-recoverable HTTP replay service until "
+        "SIGTERM (graceful drain)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="bind port; 0 picks a free one, recorded in the "
+                   "data dir (default 8023)")
+    p.add_argument("--data-dir", default="serve-data", metavar="DIR",
+                   help="session journals + snapshots live here; existing "
+                   "sessions are recovered on start (default serve-data)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="per-session ingest queue depth before 429s "
+                   "(default 8)")
+    p.add_argument("--shed-backlog", type=int, default=4,
+                   help="queue backlog at which metrics polls are shed "
+                   "with 503 (default 4)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="seconds a request waits for its session worker "
+                   "(default 30)")
+    p.add_argument("--snapshot-every", type=int, default=16,
+                   help="state snapshot every N applied chunks (default 16)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds the SIGTERM drain waits per session "
+                   "(default 30)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "session",
+        help="talk to a running service "
+        "(submit / feed / metrics / list / finalize / ping)",
+    )
+    session_sub = p.add_subparsers(dest="session_command", required=True)
+
+    s = session_sub.add_parser("submit", help="create a replay session")
+    _add_session_endpoint_args(s)
+    _add_scale_args(s)
+    s.add_argument("session", help="session name (also its directory name)")
+    s.add_argument("--scenario", default=None,
+                   help="built-in scenario providing tenant labels and "
+                   "provenance (or use --spec FILE)")
+    s.add_argument("--spec", default=None, metavar="FILE",
+                   help="scenario spec file instead of a built-in name")
+    s.add_argument("--policy", default="lru",
+                   help="migration policy for the live HSM (default lru)")
+    s.add_argument("--capacity-mb", type=float, default=512.0,
+                   help="managed-disk capacity in MiB (default 512)")
+    s.add_argument("--window-days", type=float, default=1.0,
+                   help="rolling metrics window in stream days (default 1)")
+    s.add_argument("--no-dedupe", action="store_true",
+                   help="skip the eight-hour interval dedupe before replay")
+    s.set_defaults(func=_cmd_session_submit)
+
+    s = session_sub.add_parser(
+        "feed", help="compose a scenario locally and stream its chunks"
+    )
+    _add_session_endpoint_args(s)
+    _add_scale_args(s)
+    s.add_argument("session", help="session to feed")
+    s.add_argument("--scenario", default=None,
+                   help="built-in scenario name (or use --spec FILE)")
+    s.add_argument("--spec", default=None, metavar="FILE",
+                   help="scenario spec file instead of a built-in name")
+    s.add_argument("--chunk-size", type=int, default=8192,
+                   help="events per fed chunk (default 8192)")
+    s.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed store cache for component streams")
+    s.set_defaults(func=_cmd_session_feed)
+
+    s = session_sub.add_parser("metrics", help="live Table-3/tenant metrics")
+    _add_session_endpoint_args(s)
+    s.add_argument("session", help="session to query")
+    s.set_defaults(func=_cmd_session_metrics)
+
+    s = session_sub.add_parser(
+        "finalize", help="flush writebacks and print final metrics"
+    )
+    _add_session_endpoint_args(s)
+    s.add_argument("session", help="session to finalize")
+    s.set_defaults(func=_cmd_session_finalize)
+
+    s = session_sub.add_parser("list", help="table of live sessions")
+    _add_session_endpoint_args(s)
+    s.set_defaults(func=_cmd_session_list)
+
+    s = session_sub.add_parser("ping", help="health + readiness probes")
+    _add_session_endpoint_args(s)
+    s.set_defaults(func=_cmd_session_ping)
 
     return parser
 

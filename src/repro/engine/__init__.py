@@ -36,7 +36,9 @@ from repro.engine.resilience import (
     list_runs,
     load_run_summary,
     run_supervised,
+    sigterm_as_interrupt,
     sweep_config_hash,
+    write_json_atomic,
 )
 from repro.engine.store import (
     StoreError,
@@ -102,9 +104,11 @@ __all__ = [
     "resolve_engine",
     "run_supervised",
     "run_sweep",
+    "sigterm_as_interrupt",
     "store_dir_for",
     "strip_errors",
     "supports_policy",
     "sweep_config_hash",
     "sweep_stale_staging",
+    "write_json_atomic",
 ]

@@ -36,11 +36,13 @@ survivable:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -95,9 +97,14 @@ def fault_point(site: str, label: str) -> None:
     its rules fires when ``site`` matches and ``match`` (if present) is
     a substring of ``label``.  Actions: ``count`` (append the label to a
     log, for task-execution counters), ``sleep`` (simulate a hung
-    worker), ``raise`` (a deterministic task failure), ``interrupt``
-    (KeyboardInterrupt, a simulated Ctrl-C), ``kill`` (SIGKILL the
-    calling process, a simulated crashed fork).  A rule with a
+    worker or a slow service consumer), ``raise`` (a deterministic task
+    failure), ``interrupt`` (KeyboardInterrupt, a simulated Ctrl-C),
+    ``sigterm`` (SIGTERM to the calling process, a simulated
+    orchestrator stop), ``kill`` (SIGKILL the calling process, a
+    simulated crashed fork or server).  The service layer adds the
+    sites ``serve-ingest`` (before a chunk's journal append),
+    ``serve-journal`` (after the append, before apply) and
+    ``serve-applied`` (after apply, before the ack).  A rule with a
     ``once_path`` fires exactly once across all processes (O_EXCL flag
     file); one with ``after``/``counter_path`` fires on the Nth hit.
     """
@@ -135,8 +142,48 @@ def fault_point(site: str, label: str) -> None:
             raise FaultInjected(f"injected fault at {site}: {label}")
         elif action == "interrupt":
             raise KeyboardInterrupt(f"injected interrupt at {site}: {label}")
+        elif action == "sigterm":
+            # An orchestrator stopping the process at this exact point.
+            os.kill(os.getpid(), signal.SIGTERM)
         elif action == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# Signal discipline
+
+
+@contextlib.contextmanager
+def sigterm_as_interrupt():
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` inside the block.
+
+    ``run_sweep`` already converts Ctrl-C into a clean ``interrupted``
+    run summary; orchestrators (including the ``repro serve``
+    supervisor) stop children with SIGTERM instead, which by default
+    kills the process before any checkpoint lands.  Inside this block
+    both signals take the same KeyboardInterrupt path, so either way of
+    stopping a sweep leaves the same resumable checkpoint behind.
+
+    The previous handler is restored on exit.  Off the main thread (or
+    wherever the interpreter refuses handler installation) the block is
+    a no-op -- signal handlers are main-thread-only in CPython.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic embedding
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 # ---------------------------------------------------------------------------
@@ -425,12 +472,23 @@ def _json_default(obj: Any) -> Any:
     raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
 
 
-def _write_json_atomic(path: Path, payload: dict) -> None:
+def write_json_atomic(path: Union[str, Path], payload: dict) -> None:
+    """Write a JSON document atomically (temp file + ``os.replace``).
+
+    Readers never observe a half-written file: they see either the old
+    content or the new one.  Shared by the sweep checkpoints and the
+    service layer's session metadata / shutdown summaries.
+    """
+    path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True,
                   default=_json_default)
     os.replace(tmp, path)
+
+
+# Backward-compatible private alias (pre-service-layer name).
+_write_json_atomic = write_json_atomic
 
 
 def canonical_sweep_config(config: Any) -> dict:
@@ -509,31 +567,57 @@ def write_run_summary(run_dir: Union[str, Path], summary: dict) -> Path:
 
 
 def load_run_summary(run_dir: Union[str, Path]) -> Optional[dict]:
-    """The run summary, or None if never written / unreadable."""
+    """The run summary, or None if never written / unreadable.
+
+    A summary that parses but is not a JSON object (a truncated or
+    mangled file that still decodes, e.g. ``null`` or a bare string) is
+    treated as unreadable: callers can rely on dict methods.
+    """
     path = Path(run_dir) / "run_summary.json"
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+            summary = json.load(handle)
     except (OSError, json.JSONDecodeError):
         return None
+    return summary if isinstance(summary, dict) else None
 
 
 def list_runs(runs_root: Union[str, Path]) -> List[dict]:
-    """Every run directory under ``runs_root`` (for ``repro runs list``)."""
+    """Every run directory under ``runs_root`` (for ``repro runs list``).
+
+    Corrupt or partially-written run dirs -- a ``config.json`` or
+    ``run_summary.json`` that is missing, truncated, or not a JSON
+    object -- never raise.  Each record carries a ``corrupt`` list
+    naming the damaged files so the CLI can warn and keep going.
+    """
     runs_root = Path(runs_root)
     if not runs_root.is_dir():
         return []
     runs: List[dict] = []
     for path in sorted(runs_root.iterdir()):
-        config_path = path / "config.json"
-        if not config_path.is_file():
+        if not path.is_dir():
             continue
-        try:
-            with open(config_path, "r", encoding="utf-8") as handle:
-                config = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            config = {}
+        config_path = path / "config.json"
+        summary_path = path / "run_summary.json"
+        if not config_path.is_file() and not summary_path.is_file():
+            continue  # not a run dir at all
+        corrupt: List[str] = []
+        config: dict = {}
+        if config_path.is_file():
+            try:
+                with open(config_path, "r", encoding="utf-8") as handle:
+                    loaded = json.load(handle)
+                if isinstance(loaded, dict):
+                    config = loaded
+                else:
+                    corrupt.append("config.json")
+            except (OSError, json.JSONDecodeError):
+                corrupt.append("config.json")
+        else:
+            corrupt.append("config.json")
         summary = load_run_summary(path)
+        if summary is None and summary_path.is_file():
+            corrupt.append("run_summary.json")
         tasks_dir = path / "tasks"
         checkpointed = (
             len(list(tasks_dir.glob("*.json"))) if tasks_dir.is_dir() else 0
@@ -543,7 +627,11 @@ def list_runs(runs_root: Union[str, Path]) -> List[dict]:
             "path": str(path),
             "config_hash": config.get("config_hash"),
             "checkpointed": checkpointed,
-            "status": (summary or {}).get("status", "in-progress"),
+            "status": (
+                "corrupt" if corrupt
+                else (summary or {}).get("status", "in-progress")
+            ),
             "summary": summary,
+            "corrupt": corrupt,
         })
     return runs

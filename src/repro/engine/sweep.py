@@ -41,6 +41,7 @@ from repro.engine.resilience import (
     load_checkpoints,
     prepare_run_dir,
     run_supervised,
+    sigterm_as_interrupt,
     sweep_config_hash,
     write_run_summary,
 )
@@ -610,8 +611,16 @@ def run_sweep(config: SweepConfig) -> SweepResult:
     degrade into ``failed_cells``.  ``KeyboardInterrupt`` still
     propagates -- after terminating the pool, cleaning the temp cache
     dir, and (with a ``run_dir``) writing an ``interrupted`` summary, so
-    a rerun with ``resume=True`` recovers at task granularity.
+    a rerun with ``resume=True`` recovers at task granularity.  SIGTERM
+    takes the same path (via :func:`sigterm_as_interrupt`), so an
+    orchestrator stopping the process gets the same clean checkpoint as
+    a Ctrl-C.
     """
+    with sigterm_as_interrupt():
+        return _run_sweep(config)
+
+
+def _run_sweep(config: SweepConfig) -> SweepResult:
     start = _time.perf_counter()
     tempdir: Optional[tempfile.TemporaryDirectory] = None
     if config.cache_dir is None:

@@ -1,0 +1,49 @@
+"""Service layer: ``repro serve`` and its journaled replay sessions.
+
+The offline engine replays finite traces; this package wraps the same
+replay in a crash-recoverable HTTP service.  Three layers:
+
+* :mod:`repro.serve.journal` -- per-session write-ahead journal
+  (self-checking chunk frames + periodic state snapshots);
+* :mod:`repro.serve.session` -- :class:`ReplaySession`, the resumable
+  incremental replay, and :class:`JournaledSession`, which binds one to
+  a journal directory with exact crash recovery;
+* :mod:`repro.serve.service` / :mod:`repro.serve.client` -- the
+  stdlib HTTP shell (bounded queues, backpressure, graceful drain) and
+  its thin client.
+"""
+
+from repro.serve.journal import JournalError, SessionJournal
+from repro.serve.session import (
+    JournaledSession,
+    ReplaySession,
+    SequenceGap,
+    SessionError,
+    SessionSpec,
+)
+from repro.serve.service import (
+    ReproService,
+    ServeConfig,
+    ServiceUnavailable,
+    make_server,
+    serve_forever,
+)
+from repro.serve.client import ServeClient, ServeClientError, ServeUnavailable
+
+__all__ = [
+    "JournalError",
+    "JournaledSession",
+    "ReplaySession",
+    "ReproService",
+    "SequenceGap",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeUnavailable",
+    "ServiceUnavailable",
+    "SessionError",
+    "SessionJournal",
+    "SessionSpec",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,198 @@
+"""Thin HTTP client for the ``repro serve`` service (stdlib urllib).
+
+Feeding is where the robustness protocol lives, so
+:meth:`ServeClient.feed_batches` implements the full client side of it:
+
+* every chunk carries a **sequence number**, so a re-send of a chunk
+  whose ack was lost (server crashed after journaling, connection
+  dropped) collapses into a duplicate ack instead of double-applying;
+* ``429``/``503`` answers are honored by sleeping ``Retry-After`` and
+  re-sending the *same* chunk -- backpressure slows the client down, it
+  never loses data;
+* a connection error triggers a **re-sync**: the client asks the
+  (restarted) server how many chunks it durably owns and resumes from
+  exactly there.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.engine.batch import EventBatch
+from repro.serve.journal import encode_batch
+
+#: Default ceiling on 429/503/reconnect retries per chunk.
+DEFAULT_FEED_RETRIES = 50
+
+
+class ServeClientError(RuntimeError):
+    """A request the server answered with a non-retryable error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeUnavailable(ServeClientError):
+    """A retryable refusal (backpressure / draining / shedding)."""
+
+    def __init__(self, status: int, message: str, retry_after: float) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """One service endpoint; methods mirror the HTTP routes."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout: float = 60.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = _error_detail(exc)
+            if exc.code in (429, 503):
+                raise ServeUnavailable(
+                    exc.code, detail,
+                    retry_after=float(exc.headers.get("Retry-After") or 1.0),
+                )
+            raise ServeClientError(exc.code, detail)
+
+    # ------------------------------------------------------------------
+    # Routes
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> dict:
+        return self._request("GET", "/readyz")
+
+    def list_sessions(self) -> list:
+        return self._request("GET", "/v1/sessions")["sessions"]
+
+    def submit(self, spec: dict) -> dict:
+        """Create a session from a SessionSpec dict."""
+        return self._request("POST", "/v1/sessions", spec)
+
+    def status(self, name: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{name}")
+
+    def metrics(self, name: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{name}/metrics")
+
+    def finalize(self, name: str) -> dict:
+        return self._request("POST", f"/v1/sessions/{name}/finalize")
+
+    def feed(self, name: str, batch: EventBatch,
+             seq: Optional[int] = None) -> dict:
+        """Send one chunk (exact-dtype npz encoding); one attempt."""
+        payload = {
+            "npz_b64": base64.b64encode(encode_batch(batch)).decode("ascii"),
+        }
+        if seq is not None:
+            payload["seq"] = seq
+        return self._request("POST", f"/v1/sessions/{name}/events", payload)
+
+    # ------------------------------------------------------------------
+    # Robust streaming
+
+    def next_seq(self, name: str) -> int:
+        """How many chunks the server durably owns (the re-sync point)."""
+        return int(self.status(name)["next_seq"])
+
+    def feed_batches(
+        self,
+        name: str,
+        batches: Iterable[EventBatch],
+        *,
+        start_seq: Optional[int] = None,
+        max_retries: int = DEFAULT_FEED_RETRIES,
+        on_retry=None,
+    ) -> Tuple[int, int]:
+        """Stream chunks with backpressure + crash re-sync handling.
+
+        Returns ``(chunks_sent, events_sent)`` counting every chunk the
+        server acknowledged (duplicates from re-sends count once).
+        ``on_retry(reason, seq, delay)`` is called before each retry
+        sleep -- the CLI uses it to narrate backpressure.
+        """
+        seq = self.next_seq(name) if start_seq is None else start_seq
+        sent_chunks = sent_events = 0
+        iterator: Iterator[EventBatch] = iter(batches)
+        for offset, batch in enumerate(iterator):
+            chunk_seq = seq + offset
+            retries = 0
+            while True:
+                try:
+                    self.feed(name, batch, seq=chunk_seq)
+                except ServeUnavailable as exc:
+                    retries += 1
+                    if retries > max_retries:
+                        raise
+                    if on_retry is not None:
+                        on_retry("backpressure", chunk_seq, exc.retry_after)
+                    time.sleep(exc.retry_after)
+                    continue
+                except (urllib.error.URLError, ConnectionError, TimeoutError):
+                    # Server gone mid-chunk.  Wait for it to come back,
+                    # then re-sync: if the crash landed after the journal
+                    # append, the re-send acks as a duplicate.
+                    retries += 1
+                    if retries > max_retries:
+                        raise
+                    if on_retry is not None:
+                        on_retry("reconnect", chunk_seq, 1.0)
+                    time.sleep(1.0)
+                    try:
+                        owned = self.next_seq(name)
+                    except (ServeClientError, urllib.error.URLError,
+                            ConnectionError, TimeoutError):
+                        continue  # still down; keep waiting
+                    if owned > chunk_seq:
+                        break  # this chunk survived the crash
+                    continue
+                break
+            sent_chunks += 1
+            sent_events += len(batch)
+        return sent_chunks, sent_events
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    try:
+        payload = json.loads(exc.read().decode("utf-8"))
+        return str(payload.get("error", payload))
+    except Exception:
+        return exc.reason or "error"
+
+
+def read_endpoint(data_dir) -> Tuple[str, int]:
+    """The (host, port) a running server recorded in its data dir."""
+    from pathlib import Path
+
+    from repro.serve.service import ENDPOINT_NAME
+
+    payload = json.loads(
+        (Path(data_dir) / ENDPOINT_NAME).read_text(encoding="utf-8")
+    )
+    return str(payload["host"]), int(payload["port"])

@@ -78,6 +78,31 @@ class FaultPlan:
         self._rule("parent-checkpoint", "interrupt", after=n,
                    counter_path=str(self._scratch("counter")))
 
+    def sigterm_after_checkpoints(self, n: int) -> None:
+        """SIGTERM the parent right after the Nth checkpoint lands (a
+        simulated orchestrator stop mid-sweep)."""
+        self._rule("parent-checkpoint", "sigterm", after=n,
+                   counter_path=str(self._scratch("counter")))
+
+    # -- service-side faults ------------------------------------------------
+
+    def kill_server_mid_chunk(self, match: Optional[str] = None,
+                              *, once: bool = True) -> None:
+        """SIGKILL the server after a chunk's journal append but before
+        it is applied (the crash window recovery must close)."""
+        self._rule("serve-journal", "kill", match=match, once=once)
+
+    def kill_server_before_journal(self, match: Optional[str] = None,
+                                   *, once: bool = True) -> None:
+        """SIGKILL the server before a chunk's journal append (the chunk
+        is lost; the client's re-send must land cleanly)."""
+        self._rule("serve-ingest", "kill", match=match, once=once)
+
+    def slow_consumer(self, seconds: float, match: Optional[str] = None) -> None:
+        """Delay every chunk apply (a slow session worker): the ingest
+        queue backs up, exercising 429 backpressure and metrics shedding."""
+        self._rule("serve-applied", "sleep", match=match, seconds=seconds)
+
     # -- installation -------------------------------------------------------
 
     def write(self) -> Path:

@@ -1,0 +1,80 @@
+"""retry_delay edge cases: attempt 0, cap saturation, cross-process
+jitter determinism (the jitter is a blake2s hash, not RNG state)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.engine.resilience import RetryPolicy, retry_delay
+
+
+def test_attempt_zero_is_jittered_base_backoff():
+    policy = RetryPolicy(backoff=0.5, backoff_cap=30.0)
+    delay = retry_delay(policy, "task", 0)
+    # base * (0.5 + 0.5 * jitter) with jitter in [0, 1)
+    assert 0.25 <= delay < 0.5
+
+
+def test_exponential_growth_until_cap():
+    policy = RetryPolicy(backoff=1.0, backoff_cap=8.0)
+    # Jitter keeps each delay in [base/2, base); the bases double, so
+    # the jitter windows are disjoint and delays strictly increase.
+    delays = [retry_delay(policy, "task", attempt) for attempt in range(3)]
+    for attempt, delay in enumerate(delays):
+        base = 2.0 ** attempt
+        assert base / 2 <= delay < base
+    assert delays == sorted(delays)
+
+
+def test_cap_saturates_and_stays_saturated():
+    policy = RetryPolicy(backoff=1.0, backoff_cap=8.0)
+    at_cap = retry_delay(policy, "task", 3)       # 2^3 = cap exactly
+    beyond = [retry_delay(policy, "task", attempt) for attempt in (4, 10, 60)]
+    # Base saturates at the cap; only the per-attempt jitter varies.
+    assert all(4.0 <= delay <= 8.0 for delay in [at_cap] + beyond)
+    huge = retry_delay(policy, "task", 1000)      # 2^1000 must not overflow
+    assert 4.0 <= huge <= 8.0
+
+
+def test_zero_backoff_disables_delay():
+    policy = RetryPolicy(backoff=0.0)
+    assert retry_delay(policy, "task", 0) == 0.0
+    assert retry_delay(policy, "task", 7) == 0.0
+
+
+def test_jitter_depends_on_label_and_attempt():
+    policy = RetryPolicy(backoff=1.0, backoff_cap=1.0)
+    assert retry_delay(policy, "a", 0) != retry_delay(policy, "b", 0)
+    assert retry_delay(policy, "a", 5) != retry_delay(policy, "a", 6)
+
+
+def test_jitter_is_deterministic_across_processes():
+    """Same (label, attempt) must give the same delay in a fresh
+    interpreter: blake2s of the inputs, no process-local state."""
+    policy = RetryPolicy(backoff=0.5, backoff_cap=30.0)
+    cases = [("stp:s0:c0.01", 0), ("lru:s1:c0.04", 3), ("x", 17)]
+    local = [retry_delay(policy, label, attempt) for label, attempt in cases]
+
+    script = (
+        "from repro.engine.resilience import RetryPolicy, retry_delay\n"
+        "p = RetryPolicy(backoff=0.5, backoff_cap=30.0)\n"
+        f"for label, attempt in {cases!r}:\n"
+        "    print(repr(retry_delay(p, label, attempt)))\n"
+    )
+    import os
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).parents[1])
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True,
+        check=True, env=env,
+    ).stdout
+    remote = [float(line) for line in output.splitlines()]
+    assert remote == local

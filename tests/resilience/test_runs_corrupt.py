@@ -1,0 +1,89 @@
+"""``repro runs list|show`` on damaged run dirs: skip and warn, never
+raise.  A crash can leave a truncated ``run_summary.json`` or a mangled
+``config.json``; inspecting the runs root must keep working."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.cli import main
+from repro.engine.resilience import list_runs, load_run_summary
+
+
+def _good_run(root: Path, name: str = "sweep-aaaa000000000000") -> Path:
+    run = root / name
+    (run / "tasks").mkdir(parents=True)
+    (run / "config.json").write_text(json.dumps({
+        "format": "repro-sweep-run", "config_hash": name.split("-")[1],
+        "config": {},
+    }))
+    (run / "run_summary.json").write_text(json.dumps({
+        "format": "repro-sweep-run", "status": "complete", "n_tasks": 4,
+        "rows": 12, "retries": 0, "failed_cells": [],
+    }))
+    (run / "tasks" / "t1.json").write_text("{}")
+    return run
+
+
+def test_truncated_summary_is_skipped_with_warning(tmp_path, capsys):
+    runs_root = tmp_path / "runs"
+    good = _good_run(runs_root)
+    bad = _good_run(runs_root, "sweep-bbbb111111111111")
+    # Truncate the summary mid-write, the way a crash would.
+    full = (bad / "run_summary.json").read_text()
+    (bad / "run_summary.json").write_text(full[: len(full) // 2])
+
+    records = {run["name"]: run for run in list_runs(runs_root)}
+    assert records[good.name]["corrupt"] == []
+    assert records[bad.name]["corrupt"] == ["run_summary.json"]
+    assert records[bad.name]["status"] == "corrupt"
+    assert load_run_summary(bad) is None
+
+    assert main(["runs", "list", str(runs_root)]) == 0
+    captured = capsys.readouterr()
+    assert good.name in captured.out
+    assert bad.name not in captured.out
+    assert "warning" in captured.err and bad.name in captured.err
+
+
+def test_non_dict_config_is_skipped_with_warning(tmp_path, capsys):
+    runs_root = tmp_path / "runs"
+    bad = _good_run(runs_root)
+    (bad / "config.json").write_text('"not a dict"')
+
+    [record] = list_runs(runs_root)
+    assert record["corrupt"] == ["config.json"]
+
+    assert main(["runs", "list", str(runs_root)]) == 0
+    assert "warning" in capsys.readouterr().err
+
+
+def test_summary_without_config_is_flagged_not_fatal(tmp_path):
+    runs_root = tmp_path / "runs"
+    partial = _good_run(runs_root)
+    (partial / "config.json").unlink()
+
+    [record] = list_runs(runs_root)
+    assert record["corrupt"] == ["config.json"]
+    assert record["status"] == "corrupt"
+
+
+def test_runs_show_on_corrupt_run_warns_and_survives(tmp_path, capsys):
+    runs_root = tmp_path / "runs"
+    bad = _good_run(runs_root)
+    (bad / "run_summary.json").write_text("{curly disaster")
+
+    assert main(["runs", "show", str(runs_root), bad.name]) == 0
+    captured = capsys.readouterr()
+    assert "corrupt" in captured.out  # the status line
+    assert "warning" in captured.err
+
+
+def test_stray_files_in_runs_root_are_ignored(tmp_path):
+    runs_root = tmp_path / "runs"
+    _good_run(runs_root)
+    (runs_root / "notes.txt").write_text("not a run dir")
+    (runs_root / "empty-dir").mkdir()
+
+    assert len(list_runs(runs_root)) == 1

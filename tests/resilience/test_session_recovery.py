@@ -1,0 +1,270 @@
+"""Service crash recovery + overload: the PR's acceptance gates.
+
+* SIGKILL the server mid-chunk (between journal append and apply, and
+  before the append), restart it on the same data dir, keep feeding:
+  the final Table-3/HSM metrics must be **bit-identical** to an
+  uninterrupted run.
+* A slow consumer backs up the bounded ingest queue: new chunks shed
+  with 429 + Retry-After and metrics polls with 503 + Retry-After,
+  while every admitted chunk still applies.
+* A torn journal tail (truncated mid-frame) is repaired on open and the
+  lost chunk's re-send recovers the exact stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.service import ServeConfig, make_server
+from repro.serve.session import JournaledSession, ReplaySession, SessionSpec
+from tests.resilience.faults import FaultPlan
+from tests.serve.conftest import synth_chunks
+
+SPEC = dict(name="rec", policy="lru", capacity_bytes=4 * 1024 * 1024,
+            labels=("alpha", "beta"))
+
+
+def _reference_metrics(chunks):
+    """What an uninterrupted server would report after finalize."""
+    session = ReplaySession(SessionSpec(**SPEC))
+    for chunk in chunks:
+        session.feed(chunk)
+    return session.finalize()
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL mid-chunk -> restart -> bit-identical (subprocess server)
+
+
+def _start_server(data_dir: Path, env_extra=None, port: int = 0) -> subprocess.Popen:
+    src = str(Path(repro.__file__).parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--data-dir", str(data_dir)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_endpoint(data_dir: Path, pid: int, timeout: float = 30.0) -> ServeClient:
+    """Wait until *this* server process has bound and answers /healthz."""
+    endpoint = data_dir / "serve.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            payload = json.loads(endpoint.read_text())
+            if payload["pid"] == pid:
+                client = ServeClient(payload["host"], payload["port"],
+                                     timeout=10.0)
+                client.health()
+                return client
+        except Exception:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(f"server {pid} never became healthy")
+
+
+@pytest.mark.parametrize("fault", ["kill_server_mid_chunk",
+                                   "kill_server_before_journal"])
+def test_sigkill_then_restart_recovers_bit_identically(tmp_path, fault):
+    chunks = synth_chunks(6, 300, seed=3)
+    kill_seq = 3
+    data_dir = tmp_path / "data"
+
+    plan = FaultPlan(tmp_path)
+    getattr(plan, fault)(match=f"{SPEC['name']}:{kill_seq}")
+    plan_path = plan.write()
+
+    server = _start_server(data_dir, {"REPRO_FAULT_PLAN": str(plan_path)})
+    try:
+        client = _wait_for_endpoint(data_dir, server.pid)
+        client.submit(dict(SPEC, labels=list(SPEC["labels"])))
+        for seq in range(kill_seq):
+            client.feed("rec", chunks[seq], seq=seq)
+
+        # The killing chunk: the server dies mid-request.
+        with pytest.raises(Exception):
+            client.feed("rec", chunks[kill_seq], seq=kill_seq)
+        assert server.wait(timeout=30) != 0
+    finally:
+        if server.poll() is None:  # pragma: no cover - fault didn't fire
+            server.kill()
+            server.wait()
+
+    # Restart on the same data dir, no fault plan: recovery replays the
+    # journal tail.  A chunk killed *after* its journal append was
+    # already durable (the re-send acks as a duplicate); one killed
+    # *before* the append was lost (the re-send applies it fresh).
+    server2 = _start_server(data_dir)
+    try:
+        client2 = _wait_for_endpoint(data_dir, server2.pid)
+        owned = client2.next_seq("rec")
+        expected_owned = kill_seq + (1 if fault == "kill_server_mid_chunk" else 0)
+        assert owned == expected_owned
+        for seq in range(owned, len(chunks)):
+            client2.feed("rec", chunks[seq], seq=seq)
+        final = client2.finalize("rec")
+    finally:
+        server2.terminate()
+        assert server2.wait(timeout=30) == 0  # graceful drain
+
+    assert (data_dir / "shutdown_summary.json").is_file()
+    assert final == _reference_metrics(chunks)
+
+
+def test_feed_batches_resyncs_through_a_crash(tmp_path):
+    """The client helper itself rides out the crash: feed_batches hits
+    the kill, waits out the restart, re-syncs, and completes."""
+    chunks = synth_chunks(6, 300, seed=3)
+    data_dir = tmp_path / "data"
+    plan = FaultPlan(tmp_path)
+    plan.kill_server_mid_chunk(match=f"{SPEC['name']}:2")
+    plan_path = plan.write()
+
+    server = _start_server(data_dir, {"REPRO_FAULT_PLAN": str(plan_path)})
+    restarted = {}
+    client = _wait_for_endpoint(data_dir, server.pid)
+    # The restart must reuse the crashed server's port: feed_batches
+    # re-syncs against the endpoint it already knows.
+    port = int(client.base.rsplit(":", 1)[1])
+
+    def _restart_when_dead():
+        server.wait()
+        restarted["server"] = _start_server(data_dir, port=port)
+
+    watcher = threading.Thread(target=_restart_when_dead, daemon=True)
+    try:
+        client.submit(dict(SPEC, labels=list(SPEC["labels"])))
+        watcher.start()
+        sent_chunks, _ = client.feed_batches("rec", chunks)
+        assert sent_chunks == len(chunks)
+        final = client.finalize("rec")
+        assert final == _reference_metrics(chunks)
+    finally:
+        for proc in (server, restarted.get("server")):
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# Journal truncation (torn tail) at the session level
+
+
+def test_truncated_journal_tail_recovers_with_resend(tmp_path):
+    chunks = synth_chunks(5, 300, seed=9)
+    spec = SessionSpec(**SPEC)
+    journaled = JournaledSession.create(tmp_path / "s", spec, snapshot_every=2)
+    for seq, chunk in enumerate(chunks):
+        journaled.feed(chunk, seq)
+    journaled.journal.close()
+
+    # Tear the last frame the way a crashed append would.
+    path = journaled.journal.journal_path
+    with open(path, "r+b") as handle:
+        handle.truncate(path.stat().st_size - 11)
+
+    recovered = JournaledSession.open(tmp_path / "s")
+    # The torn chunk is gone; its ack was never sent, so the client
+    # re-sends it and the stream completes exactly.
+    assert recovered.next_seq == len(chunks) - 1
+    recovered.feed(chunks[-1], len(chunks) - 1)
+    assert recovered.session.finalize() == _reference_metrics(chunks)
+
+
+def test_snapshot_plus_tail_beats_full_replay(tmp_path):
+    """Recovery must not depend on the snapshot: damage both snapshots
+    and the journal alone still reproduces the exact state."""
+    chunks = synth_chunks(5, 300, seed=9)
+    spec = SessionSpec(**SPEC)
+    journaled = JournaledSession.create(tmp_path / "s", spec, snapshot_every=2)
+    for seq, chunk in enumerate(chunks):
+        journaled.feed(chunk, seq)
+    journaled.journal.close()
+    for snapshot in (tmp_path / "s").glob("snapshot-*.pkl"):
+        snapshot.write_bytes(b"rotten")
+
+    recovered = JournaledSession.open(tmp_path / "s")
+    assert recovered.next_seq == len(chunks)
+    assert recovered.session.finalize() == _reference_metrics(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Overload: bounded queue + shedding (in-process server, slow consumer)
+
+
+def test_overload_sheds_while_admitted_chunks_apply(tmp_path, monkeypatch):
+    chunks = synth_chunks(8, 120, seed=5)
+    plan = FaultPlan(tmp_path)
+    plan.slow_consumer(0.25, match="rec:")
+    plan.install(monkeypatch)
+
+    config = ServeConfig(
+        data_dir=tmp_path / "data", port=0,
+        queue_depth=2, shed_backlog=2, request_timeout=0.05,
+    )
+    server, service = make_server(config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(*server.server_address[:2], timeout=10.0)
+    try:
+        client.submit(dict(SPEC, labels=list(SPEC["labels"])))
+        backpressured = 0
+        admitted_slowly = 0
+        sheds = 0
+        for seq, chunk in enumerate(chunks):
+            while True:
+                try:
+                    client.feed("rec", chunk, seq=seq)
+                    break
+                except ServeUnavailable as exc:
+                    assert exc.retry_after >= 1.0
+                    if exc.status == 429:
+                        backpressured += 1  # not admitted: must re-send
+                        time.sleep(0.05)
+                        continue
+                    admitted_slowly += 1  # 503: admitted, will apply
+                    break
+            # Poll metrics under load: shed with Retry-After once the
+            # backlog crosses the threshold.
+            try:
+                client.metrics("rec")
+            except ServeUnavailable as exc:
+                assert exc.status == 503
+                assert exc.retry_after >= 1.0
+                if "shed" in str(exc):
+                    sheds += 1
+
+        assert backpressured > 0, "bounded queue never pushed back"
+        assert admitted_slowly > 0, "request deadline never tripped"
+        assert sheds > 0, "metrics polls were never shed"
+
+        # Every admitted chunk still applies: ingest continued under load.
+        deadline = time.monotonic() + 30.0
+        while client.status("rec")["applied_chunks"] < len(chunks):
+            assert time.monotonic() < deadline, "backlog never drained"
+            time.sleep(0.1)
+        while True:  # finalize may exceed the (tiny) request deadline
+            try:
+                final = client.finalize("rec")
+                break
+            except ServeUnavailable:
+                assert time.monotonic() < deadline, "finalize never landed"
+                time.sleep(0.1)
+        assert final == _reference_metrics(chunks)
+    finally:
+        server.shutdown()
+        service.drain()
+        server.server_close()

@@ -1,0 +1,70 @@
+"""SIGTERM mid-sweep leaves the same clean ``interrupted`` checkpoint
+as Ctrl-C: orchestrators stop sweeps with SIGTERM, and before this fix
+that killed the process with no run summary at all."""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.engine import SweepConfig, run_sweep
+from repro.engine.resilience import (
+    load_checkpoints,
+    load_run_summary,
+    sigterm_as_interrupt,
+)
+from tests.resilience.faults import FaultPlan
+
+BASE = dict(
+    policies=("stp", "lru"),
+    capacity_fractions=(0.01, 0.04),
+    seeds=(0,),
+    scale=0.002,
+    duration_days=90.0,
+    engine="des",
+    retry_backoff=0.0,
+)
+
+
+def test_sigterm_as_interrupt_converts_and_restores():
+    before = signal.getsignal(signal.SIGTERM)
+    with pytest.raises(KeyboardInterrupt):
+        with sigterm_as_interrupt():
+            os.kill(os.getpid(), signal.SIGTERM)
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_sigterm_mid_sweep_writes_interrupted_summary(tmp_path, monkeypatch):
+    plan = FaultPlan(tmp_path)
+    # SIGTERM the parent right after the 2nd checkpoint lands -- the
+    # exact moment an orchestrator might stop the run.
+    plan.sigterm_after_checkpoints(2)
+    plan.install(monkeypatch)
+
+    config = SweepConfig(
+        **BASE, cache_dir=str(tmp_path / "cache"),
+        run_dir=str(tmp_path / "runs"),
+    )
+    before = signal.getsignal(signal.SIGTERM)
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(config)
+
+    # SIGTERM handling is restored after the sweep.
+    assert signal.getsignal(signal.SIGTERM) is before
+
+    run_path = next(Path(tmp_path / "runs").iterdir())
+    summary = load_run_summary(run_path)
+    assert summary is not None and summary["status"] == "interrupted"
+    assert len(load_checkpoints(run_path)) == 2
+
+    # And the checkpoint is resumable, exactly like a Ctrl-C one.
+    resumed = run_sweep(SweepConfig(
+        **BASE, cache_dir=str(tmp_path / "cache"),
+        run_dir=str(tmp_path / "runs"), resume=True,
+    ))
+    assert resumed.tasks_resumed == 2
+    assert resumed.tasks_executed == 2
+    assert load_run_summary(run_path)["status"] == "complete"

@@ -1,0 +1,40 @@
+"""Shared fixtures for the service-layer suite: deterministic chunk
+streams shaped like real ingest (globally time-ordered, a few errors,
+optional columns present)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch
+
+
+def synth_chunks(n_chunks: int = 6, events: int = 400, seed: int = 1,
+                 n_files: int = 120) -> List[EventBatch]:
+    """A deterministic, globally time-ordered chunked event stream."""
+    rng = np.random.default_rng(seed)
+    t0 = 0.0
+    chunks = []
+    for _ in range(n_chunks):
+        times = np.sort(t0 + rng.random(events) * 3600.0)
+        t0 = float(times[-1])
+        chunks.append(EventBatch.from_columns(
+            file_id=rng.integers(0, n_files, events),
+            size=rng.integers(1, 1 << 20, events),
+            time=times,
+            is_write=rng.random(events) < 0.3,
+            device=rng.integers(0, 3, events),
+            error=(rng.random(events) < 0.05).astype(np.int8),
+            user=rng.integers(0, 40, events),
+            latency=rng.random(events) * 5.0,
+            transfer=rng.random(events) * 2.0,
+        ))
+    return chunks
+
+
+@pytest.fixture(scope="session")
+def chunk_stream() -> List[EventBatch]:
+    return synth_chunks()
