@@ -352,6 +352,39 @@ class OverallAccumulator:
             self.add(batch)
         return self
 
+    def cells(self) -> Dict[Tuple[Device, bool], CellStats]:
+        """The per-(device, direction) cells accumulated so far."""
+        return self._cells
+
+    def copy(self) -> "OverallAccumulator":
+        """An independent deep copy (for order-independence checks)."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    def merge(self, other: "OverallAccumulator") -> "OverallAccumulator":
+        """Combine two partial accumulators (for parallel Table 3 folds).
+
+        Cells merge via :meth:`CellStats.merge` (parallel Welford for
+        the moments), error counts and raw-reference tallies add, and
+        the traced span widens to cover both parts.  Counts and byte
+        totals are exactly order-independent; moment merges commute up
+        to float rounding (pinned by the invariant suite).
+        """
+        for key, cell in other._cells.items():
+            mine = self._cells.get(key)
+            if mine is None:
+                self._cells[key] = CellStats().merge(cell)
+            else:
+                mine.merge(cell)
+        self._error_counts = self._error_counts + other._error_counts
+        self._raw_references += other._raw_references
+        firsts = [t for t in (self._first, other._first) if t is not None]
+        lasts = [t for t in (self._last, other._last) if t is not None]
+        self._first = min(firsts) if firsts else None
+        self._last = max(lasts) if lasts else None
+        return self
+
     def statistics(self) -> TraceStatistics:
         """The accumulated cells as a :class:`TraceStatistics`."""
         error_counts = {

@@ -1,0 +1,40 @@
+"""Deterministic chaos harness: seeded fault schedules over the
+production fault points, with bit-identical-recovery verdicts.
+
+:mod:`repro.chaos.plan` builds fault plans (shared with the resilience
+test suite); :mod:`repro.chaos.harness` derives per-episode seeds from a
+master seed, runs fault episodes against every robustness layer, and
+writes a timestamp-free, byte-reproducible ``chaos_report.json``.
+"""
+
+from repro.chaos.harness import (
+    EPISODE_KINDS,
+    REPORT_NAME,
+    episode_kinds,
+    episode_seed,
+    render_report,
+    run_chaos,
+    run_episode,
+    write_report,
+)
+from repro.chaos.plan import (
+    FaultPlan,
+    delete_shard,
+    flip_shard_byte,
+    truncate_shard,
+)
+
+__all__ = [
+    "EPISODE_KINDS",
+    "REPORT_NAME",
+    "FaultPlan",
+    "delete_shard",
+    "episode_kinds",
+    "episode_seed",
+    "flip_shard_byte",
+    "render_report",
+    "run_chaos",
+    "run_episode",
+    "truncate_shard",
+    "write_report",
+]

@@ -14,6 +14,13 @@ Subcommands::
     runs       checkpointed sweep runs (list / show)
     serve      crash-recoverable HTTP replay service
     session    client for a running service (submit / feed / metrics / ...)
+    verify     cross-engine differential checker + violation-bundle replay
+    chaos      seeded fault-schedule soak harness (run / replay / report)
+
+Commands that replay events accept ``--check-invariants`` (or the
+``REPRO_CHECK_INVARIANTS=1`` environment variable) to enable runtime
+conservation-law checking; a violation dumps a replayable quarantine
+bundle (see ``repro verify replay``).
 
 A ``--cache-dir`` (or ``--store``) points at the content-addressed
 columnar trace store (:mod:`repro.engine.store`): generate once, analyze
@@ -27,6 +34,14 @@ import sys
 from typing import List, Optional
 
 from repro.util.units import DAY
+
+
+def _add_invariant_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="enable runtime conservation-law checking "
+        "(same as REPRO_CHECK_INVARIANTS=1; forked workers inherit it)",
+    )
 
 
 def _add_scale_args(parser: argparse.ArgumentParser) -> None:
@@ -781,11 +796,121 @@ def _cmd_session_ping(args: argparse.Namespace) -> int:
     import json
 
     client = _serve_client(args)
+    # ping() rides out the connection-refused window of a restarting
+    # server with bounded backoff; ready() runs after it succeeds, so
+    # the server is known to be listening by then.
     print(json.dumps(
-        {"health": client.health(), "ready": client.ready()},
+        {"health": client.ping(retries=args.retries), "ready": client.ready()},
         indent=1, sort_keys=True,
     ))
     return 0
+
+
+def _cmd_verify_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify.diff import run_differential
+
+    report = run_differential(cases=args.cases, seed=args.seed)
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
+    ok = report["ok"]
+    verdict = "all agree" if ok else f"{len(report['failures'])} mismatch(es)"
+    print(
+        f"verify diff: {report['cases']} case(s) across "
+        f"{'/'.join(report['engines'])}: {verdict}"
+    )
+    for row in report["results"]:
+        if row["ok"]:
+            continue
+        print(f"  case {row['case']} ({row['config']['policy']}):")
+        for pair, fields in row["mismatches"].items():
+            for name, (left, right) in fields.items():
+                print(f"    {pair} {name}: {left} != {right}")
+        print(f"    repro: repro verify diff --seed {report['seed']} "
+              f"--cases {report['cases']}")
+    return 0 if ok else 1
+
+
+def _cmd_verify_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify.diff import replay_bundle
+
+    try:
+        outcome = replay_bundle(args.bundle)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"verify replay: unreadable bundle {args.bundle}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(outcome, indent=1, sort_keys=True))
+    if outcome.get("error"):
+        return 2
+    return 0 if outcome["reproduced"] else 1
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import render_report, run_chaos, write_report
+
+    kinds = None
+    if args.kinds:
+        kinds = tuple(part for part in args.kinds.split(",") if part)
+
+    def progress(index: int, kind: str) -> None:
+        print(f"chaos: episode {index} ({kind})...", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        workdir = Path(args.workdir) if args.workdir else Path(scratch)
+        report = run_chaos(
+            args.seed, args.episodes, workdir, kinds=kinds, progress=progress
+        )
+    path = write_report(report, Path(args.report))
+    print(render_report(report))
+    print(f"report: {path}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import render_report, run_chaos
+
+    kinds = None
+    if args.kinds:
+        kinds = tuple(part for part in args.kinds.split(",") if part)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        workdir = Path(args.workdir) if args.workdir else Path(scratch)
+        report = run_chaos(
+            args.seed, args.episode + 1, workdir, kinds=kinds,
+            only_episode=args.episode,
+        )
+    print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_chaos_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import render_report
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"chaos report: unreadable {args.report}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_report(report))
+    return 0 if report.get("ok") else 1
 
 
 def _add_session_endpoint_args(parser: argparse.ArgumentParser) -> None:
@@ -837,6 +962,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="policy name (repeatable); default: the full set",
     )
+    _add_invariant_args(p)
     p.set_defaults(func=_cmd_policies)
 
     p = sub.add_parser("sweep", help="parallel Section 6 ablation grid")
@@ -882,6 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="per-task deadline: a hung task's pool is "
                    "recycled and the task retried (default: none)")
+    _add_invariant_args(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="run every experiment")
@@ -1022,6 +1149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    help="seconds the SIGTERM drain waits per session "
                    "(default 30)")
+    _add_invariant_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1064,6 +1192,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="events per fed chunk (default 8192)")
     s.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed store cache for component streams")
+    _add_invariant_args(s)
     s.set_defaults(func=_cmd_session_feed)
 
     s = session_sub.add_parser("metrics", help="live Table-3/tenant metrics")
@@ -1084,7 +1213,84 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = session_sub.add_parser("ping", help="health + readiness probes")
     _add_session_endpoint_args(s)
+    s.add_argument("--retries", type=int, default=None,
+                   help="connection retries while the server restarts "
+                   "(default: the client's bounded-backoff default)")
     s.set_defaults(func=_cmd_session_ping)
+
+    p = sub.add_parser(
+        "verify",
+        help="cross-engine differential checker and quarantine-bundle "
+        "replay",
+    )
+    verify_sub = p.add_subparsers(dest="verify_command", required=True)
+
+    v = verify_sub.add_parser(
+        "diff",
+        help="pin DES / stack / session counter-for-counter equivalence "
+        "on seeded random configs",
+    )
+    v.add_argument("--cases", type=int, default=20,
+                   help="randomized configurations to diff (default 20)")
+    v.add_argument("--seed", type=int, default=0,
+                   help="master seed; a mismatch is re-runnable from it "
+                   "(default 0)")
+    v.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the full JSON report here")
+    v.set_defaults(func=_cmd_verify_diff)
+
+    v = verify_sub.add_parser(
+        "replay",
+        help="re-run an invariant-violation quarantine bundle and report "
+        "whether it reproduces",
+    )
+    v.add_argument("bundle", help="quarantine bundle directory "
+                   "(contains violation.json)")
+    v.set_defaults(func=_cmd_verify_replay)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-schedule soak: inject crashes/corruption and "
+        "require bit-identical recovery (run / replay / report)",
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    c = chaos_sub.add_parser("run", help="run N seeded chaos episodes")
+    c.add_argument("--episodes", type=int, default=7,
+                   help="episode count (default 7, one per kind)")
+    c.add_argument("--seed", type=int, default=0,
+                   help="master seed: same seed, same schedule, same "
+                   "verdicts (default 0)")
+    c.add_argument("--kinds", default=None,
+                   help="comma-separated episode kinds to draw from "
+                   "(default: all)")
+    c.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep episode scratch state here instead of a "
+                   "temporary directory")
+    c.add_argument("--report", default="chaos_report.json", metavar="FILE",
+                   help="report path (default chaos_report.json)")
+    c.set_defaults(func=_cmd_chaos_run)
+
+    c = chaos_sub.add_parser(
+        "replay", help="re-run exactly one episode of a seeded soak"
+    )
+    c.add_argument("--seed", type=int, required=True,
+                   help="the soak's master seed")
+    c.add_argument("--episode", type=int, required=True,
+                   help="episode index to replay")
+    c.add_argument("--kinds", default=None,
+                   help="the soak's --kinds value, if it had one (the kind "
+                   "schedule depends on the pool)")
+    c.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep the episode's scratch state here")
+    c.set_defaults(func=_cmd_chaos_replay)
+
+    c = chaos_sub.add_parser(
+        "report", help="summarize an existing chaos_report.json"
+    )
+    c.add_argument("report", nargs="?", default="chaos_report.json",
+                   help="report path (default chaos_report.json)")
+    c.set_defaults(func=_cmd_chaos_report)
 
     return parser
 
@@ -1095,6 +1301,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "policy", "missing") is None:
         args.policy = ["opt", "stp", "lru", "saac", "fifo", "random", "largest-first"]
+    if getattr(args, "check_invariants", False):
+        from repro.verify.invariants import enable_invariants
+
+        enable_invariants()
     return args.func(args)
 
 

@@ -59,12 +59,19 @@ def replay_policy(
     policy_seed: Optional[int] = None,
 ) -> HSMMetrics:
     """Run one named policy over a prepared batch stream."""
+    from repro.verify.invariants import invariant_context
+
     policy = build_policy(policy_name, batches, seed=policy_seed)
     config = HSMConfig.with_capacity(
         capacity_bytes, writeback_delay=writeback_delay, prefetch=prefetch
     )
     hsm = HSM(config, policy, namespace=namespace)
-    return hsm.replay(batches)
+    with invariant_context(
+        engine="des", policy=policy_name, capacity_bytes=capacity_bytes,
+        writeback_delay=writeback_delay, prefetch=prefetch,
+        policy_seed=policy_seed,
+    ):
+        return hsm.replay(batches)
 
 
 def capacity_sweep_batches(

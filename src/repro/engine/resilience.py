@@ -88,7 +88,7 @@ def _bump_counter(path: str) -> int:
     return count
 
 
-def fault_point(site: str, label: str) -> None:
+def fault_point(site: str, label: str) -> List[str]:
     """Deterministic fault-injection hook; inert unless a plan is active.
 
     Production code marks named fault points (``worker-task`` before a
@@ -101,21 +101,30 @@ def fault_point(site: str, label: str) -> None:
     failure), ``interrupt`` (KeyboardInterrupt, a simulated Ctrl-C),
     ``sigterm`` (SIGTERM to the calling process, a simulated
     orchestrator stop), ``kill`` (SIGKILL the calling process, a
-    simulated crashed fork or server).  The service layer adds the
-    sites ``serve-ingest`` (before a chunk's journal append),
-    ``serve-journal`` (after the append, before apply) and
-    ``serve-applied`` (after apply, before the ack).  A rule with a
-    ``once_path`` fires exactly once across all processes (O_EXCL flag
-    file); one with ``after``/``counter_path`` fires on the Nth hit.
+    simulated crashed fork or server), ``corrupt`` (inert here: the
+    call site applies a deliberate state corruption when it sees the
+    action fire, used to prove the invariant checker catches
+    divergence).  The service layer adds the sites ``serve-ingest``
+    (before a chunk's journal append), ``serve-journal`` (after the
+    append, before apply) and ``serve-applied`` (after apply, before
+    the ack); the replay layer adds ``hsm-batch`` (after each batch is
+    applied to the cache).  A rule with a ``once_path`` fires exactly
+    once across all processes (O_EXCL flag file); one with
+    ``after``/``counter_path`` fires on the Nth hit.
+
+    Returns the list of action names that fired, so call sites can
+    react to advisory actions like ``corrupt`` (actions that raise or
+    kill never return, so the list only ever carries survivable ones).
     """
+    fired: List[str] = []
     plan_path = os.environ.get(FAULT_PLAN_ENV)
     if not plan_path:
-        return
+        return fired
     try:
         with open(plan_path, "r", encoding="utf-8") as handle:
             plan = json.load(handle)
     except (OSError, json.JSONDecodeError):
-        return
+        return fired
     for rule in plan.get("rules", ()):
         if rule.get("site") != site:
             continue
@@ -147,6 +156,9 @@ def fault_point(site: str, label: str) -> None:
             os.kill(os.getpid(), signal.SIGTERM)
         elif action == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
+        if action:
+            fired.append(action)
+    return fired
 
 
 # ---------------------------------------------------------------------------

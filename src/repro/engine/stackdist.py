@@ -755,6 +755,10 @@ def multi_capacity_replay(
         return []
     if any(c <= 0 for c in requested):
         raise ValueError("capacity must be positive")
+    from repro.verify.invariants import (
+        StackInvariantChecker, invariant_context, invariants_enabled,
+    )
+
     unique = sorted(set(requested))
     by_capacity: Dict[int, HSMMetrics] = {}
     if len(unique) > MAX_CAPACITIES_PER_PASS:
@@ -764,8 +768,20 @@ def multi_capacity_replay(
         replay = _MultiCapacityReplay(
             policy_name, group, writeback_delay, high_watermark, low_watermark
         )
-        for batch in batches:
-            replay.feed(batch)
+        checker = (
+            StackInvariantChecker(replay) if invariants_enabled() else None
+        )
+        with invariant_context(
+            engine="stack", policy=policy_name, capacities=group,
+            writeback_delay=writeback_delay,
+            high_watermark=high_watermark, low_watermark=low_watermark,
+        ):
+            for batch in batches:
+                replay.feed(batch)
+                if checker is not None:
+                    checker.after_batch(batch)
+            if checker is not None:
+                checker.at_finish()
         for capacity, metrics in zip(group, replay.finish()):
             by_capacity[capacity] = metrics
     seen: set = set()

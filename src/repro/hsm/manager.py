@@ -8,6 +8,7 @@ write-back, and measure what prefetching buys.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Tuple
 
@@ -118,7 +119,26 @@ class HSM:
         batch access path (buffered hit runs, no per-event allocations).
         With prefetching enabled the per-event path is used, because every
         access outcome feeds the prefetcher.
+
+        With ``REPRO_CHECK_INVARIANTS=1`` every batch is followed by a
+        conservation-law check (and ``flush_all`` by the at-finalize
+        laws); the ``hsm-batch`` fault point lets the chaos harness
+        corrupt a counter deliberately to prove the checker catches it.
         """
+        from repro.engine.resilience import fault_point
+        from repro.verify.invariants import (
+            HSMInvariantChecker, invariants_enabled,
+        )
+
+        checker = (
+            HSMInvariantChecker(
+                self.cache, prefetch=self.prefetcher is not None
+            )
+            if invariants_enabled()
+            else None
+        )
+        faulted = bool(os.environ.get("REPRO_FAULT_PLAN"))
+        index = 0
         if self.prefetcher is not None:
             for batch in batches:
                 handle = self.handle
@@ -129,6 +149,13 @@ class HSM:
                     batch.is_write.tolist(),
                 ):
                     handle(event)
+                if faulted and "corrupt" in fault_point(
+                    "hsm-batch", f"batch:{index}"
+                ):
+                    self.cache.metrics.read_hits += 1
+                if checker is not None:
+                    checker.after_batch(batch)
+                index += 1
         else:
             for batch in batches:
                 self.cache.access_batch(
@@ -137,7 +164,16 @@ class HSM:
                     batch.time.tolist(),
                     batch.is_write.tolist(),
                 )
+                if faulted and "corrupt" in fault_point(
+                    "hsm-batch", f"batch:{index}"
+                ):
+                    self.cache.metrics.read_hits += 1
+                if checker is not None:
+                    checker.after_batch(batch)
+                index += 1
         self.cache.flush_all()
+        if checker is not None:
+            checker.finalize()
         return self.metrics
 
 

@@ -29,6 +29,17 @@ from repro.serve.journal import encode_batch
 #: Default ceiling on 429/503/reconnect retries per chunk.
 DEFAULT_FEED_RETRIES = 50
 
+#: Default connection-refused retries for one-shot requests (ping, the
+#: initial feed re-sync): a restarting server has a window between
+#: journal recovery and socket bind where connections are refused.
+DEFAULT_CONNECT_RETRIES = 5
+
+#: Base delay for the connection-retry backoff (doubles, capped).
+DEFAULT_CONNECT_BACKOFF = 0.25
+
+#: Ceiling on any single connection-retry sleep.
+CONNECT_BACKOFF_CAP = 2.0
+
 
 class ServeClientError(RuntimeError):
     """A request the server answered with a non-retryable error."""
@@ -50,9 +61,13 @@ class ServeClient:
     """One service endpoint; methods mirror the HTTP routes."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8023,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 connect_retries: int = DEFAULT_CONNECT_RETRIES,
+                 connect_backoff: float = DEFAULT_CONNECT_BACKOFF) -> None:
         self.base = f"http://{host}:{port}"
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -79,6 +94,38 @@ class ServeClient:
                 )
             raise ServeClientError(exc.code, detail)
 
+    def _with_reconnect(self, fn, *, retries: Optional[int] = None,
+                        on_retry=None):
+        """Run one request, retrying connection-level failures.
+
+        Bounded exponential backoff on connection-refused / reset /
+        timeout -- the restart window between a server's journal
+        recovery and its socket bind no longer surfaces as a raw
+        ``ConnectionError``.  HTTP-level errors (including 429/503
+        backpressure) pass straight through: they already have their own
+        protocol.  ``urllib.error.HTTPError`` never reaches the handler
+        because :meth:`_request` converts it first.
+        """
+        budget = self.connect_retries if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except ServeClientError:
+                raise
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError):
+                if attempt >= budget:
+                    raise
+                delay = min(
+                    self.connect_backoff * (2.0 ** attempt),
+                    CONNECT_BACKOFF_CAP,
+                )
+                if on_retry is not None:
+                    on_retry("reconnect", -1, delay)
+                time.sleep(delay)
+                attempt += 1
+
     # ------------------------------------------------------------------
     # Routes
 
@@ -87,6 +134,10 @@ class ServeClient:
 
     def ready(self) -> dict:
         return self._request("GET", "/readyz")
+
+    def ping(self, retries: Optional[int] = None) -> dict:
+        """Health check that rides out a server restart window."""
+        return self._with_reconnect(self.health, retries=retries)
 
     def list_sessions(self) -> list:
         return self._request("GET", "/v1/sessions")["sessions"]
@@ -137,7 +188,15 @@ class ServeClient:
         ``on_retry(reason, seq, delay)`` is called before each retry
         sleep -- the CLI uses it to narrate backpressure.
         """
-        seq = self.next_seq(name) if start_seq is None else start_seq
+        # The initial re-sync rides out a restarting server the same way
+        # mid-stream reconnects do -- without it, feeding immediately
+        # after a restart dies on the first connection-refused.
+        if start_seq is None:
+            seq = self._with_reconnect(
+                lambda: self.next_seq(name), on_retry=on_retry
+            )
+        else:
+            seq = start_seq
         sent_chunks = sent_events = 0
         iterator: Iterator[EventBatch] = iter(batches)
         for offset, batch in enumerate(iterator):

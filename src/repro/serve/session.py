@@ -34,6 +34,12 @@ from repro.hsm.manager import HSM, HSMConfig
 from repro.serve.journal import SessionJournal
 from repro.trace.record import Device
 from repro.util.units import DAY, HOUR
+from repro.verify.invariants import (
+    HSMInvariantChecker,
+    check_journal_recovery,
+    invariant_context,
+    invariants_enabled,
+)
 
 SESSION_META_NAME = "session.json"
 
@@ -263,19 +269,47 @@ class ReplaySession:
             good = self.deduper.apply(good)
         if not len(good):
             return 0
+        sizes = np.maximum(good.size, 1)
+        # The checker is created per chunk (never pickled into snapshots):
+        # its construction snapshots the counters, so the delta laws see
+        # exactly this chunk's contribution.
+        checker = (
+            HSMInvariantChecker(
+                self.hsm.cache,
+                site=f"serve.session:{self.spec.name}",
+                deep_every=1,
+            )
+            if invariants_enabled()
+            else None
+        )
         self.hsm.cache.access_batch(
             good.file_id.tolist(),
-            np.maximum(good.size, 1).tolist(),
+            sizes.tolist(),
             good.time.tolist(),
             good.is_write.tolist(),
         )
+        if checker is not None:
+            with self._invariant_context():
+                checker.after_batch(dataclasses.replace(good, size=sizes))
         return len(good)
+
+    def _invariant_context(self):
+        return invariant_context(
+            engine="session", session=self.spec.name,
+            policy=self.spec.policy,
+            capacity_bytes=self.spec.capacity_bytes,
+            writeback_delay=self.spec.writeback_delay,
+            applied_chunks=self.applied_chunks,
+        )
 
     def finalize(self) -> dict:
         """Flush the write-back queue and seal the session."""
         if not self.finalized:
             self.hsm.cache.flush_all()
             self.finalized = True
+            if invariants_enabled():
+                with self._invariant_context():
+                    HSMInvariantChecker(self.hsm.cache).finalize()
         return self.metrics()
 
     # ------------------------------------------------------------------
@@ -438,6 +472,11 @@ class JournaledSession:
         for batch in journaled.journal.replay(skip=applied):
             session.feed(batch)
         journaled.session = session
+        if invariants_enabled():
+            check_journal_recovery(
+                spec.name, applied, journaled.journal.frame_count(),
+                session.applied_chunks,
+            )
         return journaled
 
     def close(self) -> None:

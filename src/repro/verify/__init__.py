@@ -1,0 +1,33 @@
+"""Runtime verification: conservation-law invariants + differential checks.
+
+`repro.verify.invariants` holds the conservation laws every replay
+engine must satisfy (gated by ``REPRO_CHECK_INVARIANTS=1`` or
+``--check-invariants``); `repro.verify.diff` cross-examines the DES,
+stack, and incremental-session engines on randomized configurations.
+"""
+
+from repro.verify.invariants import (
+    ENABLE_ENV,
+    QUARANTINE_ENV,
+    HSMInvariantChecker,
+    InvariantViolation,
+    StackInvariantChecker,
+    check_journal_recovery,
+    check_merge_order_independence,
+    invariant_context,
+    invariants_enabled,
+    load_quarantine_bundle,
+)
+
+__all__ = [
+    "ENABLE_ENV",
+    "QUARANTINE_ENV",
+    "HSMInvariantChecker",
+    "InvariantViolation",
+    "StackInvariantChecker",
+    "check_journal_recovery",
+    "check_merge_order_independence",
+    "invariant_context",
+    "invariants_enabled",
+    "load_quarantine_bundle",
+]

@@ -1,0 +1,178 @@
+"""Chaos harness: deterministic schedules, reproducible reports, hygiene.
+
+The issue's bar: a seeded chaos run is bit-reproducible, every failing
+episode is replayable from its seed alone, and fault-plan state (flag
+files, env vars) is cleaned between episodes so back-to-back runs see
+exactly-once semantics each time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    EPISODE_KINDS,
+    REPORT_NAME,
+    FaultPlan,
+    episode_kinds,
+    episode_seed,
+    run_chaos,
+    run_episode,
+)
+from repro.engine.resilience import FAULT_PLAN_ENV, fault_point
+
+# Subset that avoids multiprocess sweeps: keeps the suite fast while still
+# covering journal recovery, torn tails, slow consumers, and the corruption
+# canary end to end.
+FAST_KINDS = (
+    "serve-crash-reopen",
+    "serve-torn-tail",
+    "slow-consumer",
+    "hsm-corrupt",
+)
+
+
+# ---------------------------------------------------------------------------
+# Schedule determinism
+
+
+def test_episode_seed_is_stable_and_distinct():
+    assert episode_seed(7, 0) == episode_seed(7, 0)
+    seeds = {episode_seed(7, i) for i in range(50)}
+    assert len(seeds) == 50
+    assert episode_seed(7, 0) != episode_seed(8, 0)
+
+
+def test_kind_schedule_is_deterministic_and_prefix_stable():
+    ten = episode_kinds(11, 10)
+    assert ten == episode_kinds(11, 10)
+    # The kind at episode i does not depend on how many episodes run:
+    # `chaos replay --episode i` sees the same kind the full run did.
+    assert episode_kinds(11, 3) == ten[:3]
+    assert set(ten) <= set(EPISODE_KINDS)
+
+
+def test_kind_schedule_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        episode_kinds(0, 2, kinds=("no-such-kind",))
+
+
+# ---------------------------------------------------------------------------
+# Episodes pass and reports reproduce bit-for-bit
+
+
+def test_fast_kinds_all_pass(tmp_path):
+    report = run_chaos(3, len(FAST_KINDS), tmp_path, kinds=FAST_KINDS)
+    assert report["ok"], report["failures"]
+    assert len(report["results"]) == len(FAST_KINDS)
+    assert {row["kind"] for row in report["results"]} == set(FAST_KINDS)
+    for row in report["results"]:
+        assert row["ok"], row
+        assert all(row["checks"].values()), row
+
+
+def test_report_is_bit_reproducible_across_workdirs(tmp_path):
+    kinds = ("serve-torn-tail", "hsm-corrupt")
+    one = run_chaos(9, 2, tmp_path / "a", kinds=kinds)
+    two = run_chaos(9, 2, tmp_path / "b", kinds=kinds)
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+def test_corruption_canary_episode_end_to_end(tmp_path):
+    seed = episode_seed(5, 0)
+    record = run_episode("hsm-corrupt", seed, tmp_path, tmp_path / "cache")
+    assert record["ok"], record
+    checks = record["checks"]
+    assert checks["violation_caught"]
+    assert checks["bundle_written"]
+    assert checks["bundle_replays"]
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan hygiene (exactly-once state cleaned between activations)
+
+
+def test_activate_restores_env_and_rearms_once_rules(tmp_path, monkeypatch):
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    plan = FaultPlan(tmp_path)
+    plan.corrupt_hsm_batch("batch:0")
+
+    for _ in range(2):  # back-to-back activations must behave identically
+        with plan.activate():
+            assert fault_point("hsm-batch", "batch:0") == ["corrupt"]
+            # The once-flag is now set: the same rule must not re-fire.
+            assert fault_point("hsm-batch", "batch:0") == []
+        assert FAULT_PLAN_ENV not in __import__("os").environ
+        assert not plan.plan_path.exists()
+
+    # Outside any activation the hook is inert.
+    assert fault_point("hsm-batch", "batch:0") == []
+
+
+def test_activate_restores_previous_plan_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "/elsewhere/plan.json")
+    plan = FaultPlan(tmp_path)
+    plan.corrupt_hsm_batch("batch:1")
+    with plan.activate():
+        import os
+
+        assert os.environ[FAULT_PLAN_ENV] == str(plan.plan_path)
+    import os
+
+    assert os.environ[FAULT_PLAN_ENV] == "/elsewhere/plan.json"
+
+
+def test_back_to_back_episodes_are_independent(tmp_path):
+    """Running the same episode twice in one process yields identical
+    records: no flag file or env leakage from the first run skews the
+    second (the satellite-2 regression gate)."""
+    seed = episode_seed(13, 2)
+    first = run_episode(
+        "serve-torn-tail", seed, tmp_path / "e1", tmp_path / "cache"
+    )
+    second = run_episode(
+        "serve-torn-tail", seed, tmp_path / "e2", tmp_path / "cache"
+    )
+    assert first["ok"] and second["ok"]
+    assert first["checks"] == second["checks"]
+    import os
+
+    assert FAULT_PLAN_ENV not in os.environ
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+
+
+def test_chaos_cli_run_and_report(tmp_path, capsys):
+    from repro.core.cli import main
+
+    report_path = tmp_path / REPORT_NAME
+    rc = main([
+        "chaos", "run", "--episodes", "2", "--seed", "7",
+        "--kinds", "serve-torn-tail,slow-consumer",
+        "--workdir", str(tmp_path / "work"),
+        "--report", str(report_path),
+    ])
+    assert rc == 0
+    assert report_path.is_file()
+    payload = json.loads(report_path.read_text())
+    assert payload["format"] == "repro-chaos-report-v1"
+    assert payload["ok"]
+
+    assert main(["chaos", "report", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "serve-torn-tail" in out
+
+
+def test_chaos_cli_replay_single_episode(tmp_path):
+    from repro.core.cli import main
+
+    rc = main([
+        "chaos", "replay", "--seed", "7", "--episode", "0",
+        "--kinds", "serve-torn-tail,slow-consumer",
+        "--workdir", str(tmp_path / "work"),
+    ])
+    assert rc == 0

@@ -1,0 +1,116 @@
+"""Stack-engine inclusion property under the invariant checker.
+
+LRU with ``high == low`` watermarks (no eviction waves, no oversized
+bypasses) obeys strict inclusion: a file resident at capacity C is
+resident at every larger capacity, so per-file residency masks are
+contiguous suffixes of the capacity ladder.  Twenty seeded cases pin
+that the armed checker stays silent on clean streams, and the arming
+rule itself is pinned (default watermarks and non-LRU policies violate
+inclusion empirically, so the law must stay dark there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch
+from repro.engine.stackdist import _MultiCapacityReplay, multi_capacity_replay
+from repro.verify.invariants import StackInvariantChecker
+from tests.verify.conftest import clean_stream
+
+CASES = 20
+
+
+def _case_stream(seed: int):
+    rng = np.random.default_rng(seed + 500)
+    return clean_stream(
+        seed,
+        n_events=int(rng.integers(600, 1500)),
+        n_files=int(rng.integers(40, 160)),
+        chunk=int(rng.integers(100, 300)),
+        write_fraction=float(rng.uniform(0.1, 0.5)),
+        # Below every capacity in ``_capacities``: no oversized bypasses,
+        # so strict inclusion holds and hits are monotone in capacity.
+        max_size=int(rng.integers(64 * 1024, 512 * 1024)),
+    )
+
+
+def _capacities(seed: int):
+    rng = np.random.default_rng(seed + 900)
+    base = int(rng.integers(2, 20)) * 1024 * 1024
+    return [base, base * 2, base * 5, base * 16]
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_lru_equal_watermarks_obey_inclusion(seed, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(tmp_path / "q"))
+    rows = multi_capacity_replay(
+        _case_stream(seed), "lru", _capacities(seed),
+        high_watermark=0.95, low_watermark=0.95,
+    )
+    assert len(rows) == 4
+    # Inclusion shows up in the metrics too: hits never decrease with
+    # capacity on the nested ladder.
+    hits = [row.read_hits for row in rows]
+    assert hits == sorted(hits)
+    assert not any((tmp_path / "q").glob("violation-*"))
+
+
+def test_inclusion_armed_only_for_lru_equal_watermarks():
+    def replay_for(policy, high, low):
+        return _MultiCapacityReplay(
+            policy, [1 << 20, 4 << 20],
+            writeback_delay=None, high_watermark=high, low_watermark=low,
+        )
+
+    armed = StackInvariantChecker(replay_for("lru", 0.95, 0.95))
+    assert armed.inclusion_armed
+    # Eviction waves (high > low) break suffix residency.
+    assert not StackInvariantChecker(
+        replay_for("lru", 0.95, 0.90)
+    ).inclusion_armed
+    # Non-LRU priority orders are not stack-nested in this regime.
+    for policy in ("fifo", "mru", "largest-first", "smallest-first"):
+        assert not StackInvariantChecker(
+            replay_for(policy, 0.95, 0.95)
+        ).inclusion_armed
+
+
+@pytest.mark.parametrize("seed", range(0, CASES, 4))
+def test_default_watermarks_stay_clean_without_inclusion(
+    seed, monkeypatch, tmp_path
+):
+    """Structural laws still run (and pass) when inclusion is dark."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(tmp_path / "q"))
+    rows = multi_capacity_replay(_case_stream(seed), "lru", _capacities(seed))
+    assert len(rows) == 4
+    assert not any((tmp_path / "q").glob("violation-*"))
+
+
+def test_oversized_file_disarms_nothing_but_bypasses(monkeypatch, tmp_path):
+    """A file larger than the smallest capacity bypasses that ladder rung;
+    the checker tolerates it (bypass rungs are excluded from inclusion)."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "1")
+    monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(tmp_path / "q"))
+    n = 400
+    rng = np.random.default_rng(0)
+    small = 1 << 20
+    sizes = np.full(30, 64 * 1024, dtype=np.int64)
+    sizes[0] = 2 * small  # never fits the smallest capacity
+    fid = rng.integers(0, 30, n).astype(np.int64)
+    zeros = np.zeros(n, dtype=np.int8)
+    batch = EventBatch(
+        file_id=fid, size=sizes[fid],
+        time=np.sort(rng.uniform(0, 86400.0, n)),
+        is_write=rng.random(n) < 0.3,
+        device=zeros, error=zeros,
+    )
+    rows = multi_capacity_replay(
+        [batch], "lru", [small, 8 * small],
+        high_watermark=0.95, low_watermark=0.95,
+    )
+    assert rows[0].bypassed_reads + rows[0].bypassed_writes > 0
+    assert not any((tmp_path / "q").glob("violation-*"))

@@ -1,160 +1,37 @@
-"""Deterministic fault injection for the resilience suite.
+"""Test-suite adapter for the shared fault harness.
 
-A :class:`FaultPlan` builds the JSON plan that
-:func:`repro.engine.resilience.fault_point` reads via the
-``REPRO_FAULT_PLAN`` environment variable: which production fault point
-to trip (by site + label substring), what to do there (SIGKILL the
-worker, sleep, raise, interrupt the parent, count executions), and how
-often (every hit, exactly once across all processes, or on the Nth hit).
-Everything is file-based, so rules coordinate across forked workers
-without shared memory: exactly-once uses an ``O_EXCL`` flag file, task
-counters append to a log the test reads back.
-
-Shard-damage helpers (:func:`truncate_shard`, :func:`flip_shard_byte`,
-:func:`delete_shard`) corrupt cached :class:`TraceStore` slots the way a
-failing disk would, for the self-healing cache tests.
+The fault-plan builder and shard-damage helpers live in
+:mod:`repro.chaos.plan` (the chaos harness uses them too); this module
+keeps the test-facing API -- ``FaultPlan(tmp_path)`` plus a
+``monkeypatch``-scoped :meth:`FaultPlan.install` so the
+``REPRO_FAULT_PLAN`` environment variable never leaks between tests.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional
 
 import pytest
 
+from repro.chaos.plan import FaultPlan as _FaultPlan
+from repro.chaos.plan import (  # noqa: F401 - re-exported for the suite
+    delete_shard,
+    flip_shard_byte,
+    truncate_shard,
+)
 from repro.engine.resilience import FAULT_PLAN_ENV
 
 
-class FaultPlan:
-    """Builder for one test's fault plan; installs itself via monkeypatch."""
+class FaultPlan(_FaultPlan):
+    """The shared builder, installed via pytest's monkeypatch."""
 
     def __init__(self, tmp_path: Path) -> None:
-        self.tmp_path = Path(tmp_path)
-        self.rules: List[dict] = []
-        self._n = 0
-        self._count_path: Optional[Path] = None
-
-    def _scratch(self, kind: str) -> Path:
-        self._n += 1
-        return self.tmp_path / f"fault-{kind}-{self._n}"
-
-    def _rule(self, site: str, action: str, *, match: Optional[str] = None,
-              once: bool = False, **extra) -> dict:
-        rule = {"site": site, "action": action, **extra}
-        if match is not None:
-            rule["match"] = match
-        if once:
-            rule["once_path"] = str(self._scratch("once"))
-        self.rules.append(rule)
-        return rule
-
-    # -- worker-side faults -------------------------------------------------
-
-    def kill_worker(self, match: Optional[str] = None, *, once: bool = True) -> None:
-        """SIGKILL the worker process mid-task (a crashed fork)."""
-        self._rule("worker-task", "kill", match=match, once=once)
-
-    def sleep_worker(self, seconds: float, match: Optional[str] = None,
-                     *, once: bool = True) -> None:
-        """Hang the worker mid-task (exercises the task timeout)."""
-        self._rule("worker-task", "sleep", match=match, once=once,
-                   seconds=seconds)
-
-    def raise_worker(self, match: Optional[str] = None, *, once: bool = True) -> None:
-        """Raise FaultInjected inside the task (a deterministic failure)."""
-        self._rule("worker-task", "raise", match=match, once=once)
-
-    def count_worker_tasks(self) -> Path:
-        """Log every task execution; returns the log path to read back."""
-        self._count_path = self._scratch("count")
-        self._rule("worker-task", "count", count_path=str(self._count_path))
-        return self._count_path
-
-    # -- parent-side faults -------------------------------------------------
-
-    def interrupt_after_checkpoints(self, n: int) -> None:
-        """KeyboardInterrupt the parent right after the Nth checkpoint
-        lands (a simulated Ctrl-C mid-sweep)."""
-        self._rule("parent-checkpoint", "interrupt", after=n,
-                   counter_path=str(self._scratch("counter")))
-
-    def sigterm_after_checkpoints(self, n: int) -> None:
-        """SIGTERM the parent right after the Nth checkpoint lands (a
-        simulated orchestrator stop mid-sweep)."""
-        self._rule("parent-checkpoint", "sigterm", after=n,
-                   counter_path=str(self._scratch("counter")))
-
-    # -- service-side faults ------------------------------------------------
-
-    def kill_server_mid_chunk(self, match: Optional[str] = None,
-                              *, once: bool = True) -> None:
-        """SIGKILL the server after a chunk's journal append but before
-        it is applied (the crash window recovery must close)."""
-        self._rule("serve-journal", "kill", match=match, once=once)
-
-    def kill_server_before_journal(self, match: Optional[str] = None,
-                                   *, once: bool = True) -> None:
-        """SIGKILL the server before a chunk's journal append (the chunk
-        is lost; the client's re-send must land cleanly)."""
-        self._rule("serve-ingest", "kill", match=match, once=once)
-
-    def slow_consumer(self, seconds: float, match: Optional[str] = None) -> None:
-        """Delay every chunk apply (a slow session worker): the ingest
-        queue backs up, exercising 429 backpressure and metrics shedding."""
-        self._rule("serve-applied", "sleep", match=match, seconds=seconds)
-
-    # -- installation -------------------------------------------------------
-
-    def write(self) -> Path:
-        """Write the plan JSON; returns its path."""
-        import json
-
-        path = self.tmp_path / "fault-plan.json"
-        path.write_text(json.dumps({"rules": self.rules}))
-        return path
+        super().__init__(tmp_path)
+        self.tmp_path = self.root
 
     def install(self, monkeypatch: pytest.MonkeyPatch) -> Path:
-        """Write the plan and point ``REPRO_FAULT_PLAN`` at it."""
+        """Write the plan and point ``REPRO_FAULT_PLAN`` at it; the
+        monkeypatch scope restores the environment after the test."""
         path = self.write()
         monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
         return path
-
-    def executed_labels(self) -> List[str]:
-        """Task labels logged by :meth:`count_worker_tasks`, in hit order."""
-        if self._count_path is None or not self._count_path.is_file():
-            return []
-        return self._count_path.read_text().splitlines()
-
-
-# ---------------------------------------------------------------------------
-# Shard damage
-
-
-def _shard_files(store_path: Path) -> List[Path]:
-    files = sorted(Path(store_path).glob("shard-*.npy"))
-    assert files, f"no shard files under {store_path}"
-    return files
-
-
-def truncate_shard(store_path: Path, index: int = -1) -> Path:
-    """Chop the tail off one shard file (a torn write); returns it."""
-    target = _shard_files(store_path)[index]
-    data = target.read_bytes()
-    target.write_bytes(data[: max(len(data) // 2, 1)])
-    return target
-
-
-def flip_shard_byte(store_path: Path, index: int = -1) -> Path:
-    """Flip the last byte of one shard file (bit rot); returns it."""
-    target = _shard_files(store_path)[index]
-    data = bytearray(target.read_bytes())
-    data[-1] ^= 0xFF
-    target.write_bytes(bytes(data))
-    return target
-
-
-def delete_shard(store_path: Path, index: int = -1) -> Path:
-    """Remove one shard file outright; returns its (now dead) path."""
-    target = _shard_files(store_path)[index]
-    target.unlink()
-    return target

@@ -1,0 +1,132 @@
+"""Client-side reconnect: pings and feeds ride out a server restart.
+
+The regression these tests pin: feeding a session immediately after the
+server restarts used to die on the first connection-refused during the
+initial ``next_seq`` re-sync; ``repro session ping`` likewise failed
+instead of waiting out the journal-recovery window.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.service import ServeConfig, make_server
+from repro.serve.session import SessionSpec
+from tests.serve.conftest import synth_chunks
+
+CAPACITY = 24 * 1024 * 1024
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _Server:
+    """An in-process service that can be killed and restarted on one port."""
+
+    def __init__(self, data_dir, port):
+        self.data_dir = data_dir
+        self.port = port
+        self.server = None
+        self.thread = None
+
+    def start(self, delay: float = 0.0) -> None:
+        def run():
+            if delay:
+                time.sleep(delay)
+            config = ServeConfig(
+                port=self.port, data_dir=str(self.data_dir),
+                request_timeout=5.0,
+            )
+            self.server, _ = make_server(config)
+            self.server.serve_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        if not delay:
+            deadline = time.monotonic() + 5.0
+            while self.server is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert self.server is not None, "server failed to bind"
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.server.shutdown()
+            self.server.server_close()
+            self.server = None
+        if self.thread is not None:
+            self.thread.join(timeout=5.0)
+            self.thread = None
+
+
+@contextlib.contextmanager
+def _harness(tmp_path):
+    harness = _Server(tmp_path / "data", _free_port())
+    try:
+        yield harness
+    finally:
+        harness.stop()
+
+
+def test_ping_rides_out_delayed_start(tmp_path):
+    with _harness(tmp_path) as harness:
+        harness.start(delay=0.3)  # socket refuses until the bind lands
+        client = ServeClient(
+            port=harness.port, timeout=5.0, connect_backoff=0.05
+        )
+        assert client.ping()["status"] == "ok"
+
+
+def test_ping_budget_is_bounded(tmp_path):
+    client = ServeClient(
+        port=_free_port(), timeout=2.0,
+        connect_retries=2, connect_backoff=0.01,
+    )
+    with pytest.raises((urllib.error.URLError, OSError)):
+        client.ping()
+
+
+def test_ping_zero_retries_fails_immediately(tmp_path):
+    client = ServeClient(port=_free_port(), timeout=2.0, connect_backoff=0.01)
+    start = time.monotonic()
+    with pytest.raises((urllib.error.URLError, OSError)):
+        client.ping(retries=0)
+    assert time.monotonic() - start < 1.0
+
+
+def test_feed_batches_survives_restart_during_resync(tmp_path):
+    chunks = synth_chunks(4, 200, seed=21)
+    spec = SessionSpec(name="retry", policy="lru", capacity_bytes=CAPACITY)
+
+    with _harness(tmp_path) as harness:
+        harness.start()
+        client = ServeClient(
+            port=harness.port, timeout=5.0, connect_backoff=0.05
+        )
+        client.submit(spec.to_dict())
+        client.feed(spec.name, chunks[0], seq=0)
+
+        # Kill the server, then bring it back on the same port while the
+        # client is mid-resync: the initial next_seq lookup must retry
+        # through the refused connections instead of raising.
+        harness.stop()
+        harness.start(delay=0.4)
+        retries = []
+        sent_chunks, sent_events = client.feed_batches(
+            spec.name, chunks[1:],
+            on_retry=lambda reason, seq, delay: retries.append(reason),
+        )
+        assert sent_chunks == 3
+        assert sent_events == sum(len(c) for c in chunks[1:])
+        assert "reconnect" in retries  # the window actually exercised
+        status = client.status(spec.name)
+        assert status["next_seq"] == len(chunks)

@@ -1,0 +1,43 @@
+"""Shared helpers for the invariant/verify suite."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import EventBatch
+from repro.verify.invariants import ENABLE_ENV, QUARANTINE_ENV
+
+
+def clean_stream(seed: int, n_events: int = 2000, n_files: int = 150,
+                 chunk: int = 256, write_fraction: float = 0.3,
+                 max_size: int = 2 * 1024 * 1024) -> List[EventBatch]:
+    """A pre-cleaned chunked stream (stable sizes, sorted times, no errors)."""
+    rng = np.random.default_rng(seed)
+    file_sizes = rng.integers(1, max_size, n_files).astype(np.int64)
+    file_id = rng.integers(0, n_files, n_events).astype(np.int64)
+    times = np.sort(rng.uniform(0.0, 30 * 86400.0, n_events))
+    is_write = rng.random(n_events) < write_fraction
+    zeros = np.zeros(n_events, dtype=np.int8)
+    return [
+        EventBatch(
+            file_id=file_id[i:i + chunk],
+            size=file_sizes[file_id[i:i + chunk]],
+            time=times[i:i + chunk],
+            is_write=is_write[i:i + chunk],
+            device=zeros[i:i + chunk],
+            error=zeros[i:i + chunk],
+        )
+        for i in range(0, n_events, chunk)
+    ]
+
+
+@pytest.fixture
+def invariants_on(tmp_path, monkeypatch):
+    """Enable invariant checking with a test-local quarantine dir."""
+    monkeypatch.setenv(ENABLE_ENV, "1")
+    quarantine = tmp_path / "quarantine"
+    monkeypatch.setenv(QUARANTINE_ENV, str(quarantine))
+    return quarantine

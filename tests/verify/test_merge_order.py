@@ -1,0 +1,100 @@
+"""Table-3 accumulator merges must be order-independent (satellite gate).
+
+Twenty seeded cases: split a raw stream into parts, accumulate each
+independently, and require (a) the forward/backward merge law to pass,
+(b) arbitrary merge permutations to agree exactly on counts and bytes,
+and (c) the merged result to match the single-pass accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accumulators import OverallAccumulator
+from repro.verify import InvariantViolation, check_merge_order_independence
+from tests.serve.conftest import synth_chunks
+
+CASES = 20
+
+
+def _parts(seed: int):
+    rng = np.random.default_rng(seed)
+    chunks = synth_chunks(
+        int(rng.integers(4, 9)), int(rng.integers(80, 300)), seed=seed
+    )
+    boundaries = sorted(
+        rng.choice(len(chunks) - 1, size=min(2, len(chunks) - 1),
+                   replace=False) + 1
+    )
+    parts = []
+    start = 0
+    for end in list(boundaries) + [len(chunks)]:
+        parts.append(
+            OverallAccumulator().add_all(chunks[start:end])
+        )
+        start = end
+    whole = OverallAccumulator().add_all(chunks)
+    return parts, whole
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_merge_order_independence(seed):
+    parts, whole = _parts(seed)
+    merged = check_merge_order_independence(parts)
+
+    expect = whole.statistics().grand_total()
+    got = merged.statistics().grand_total()
+    assert got.references == expect.references
+    assert got.bytes_transferred == expect.bytes_transferred
+
+    # Permutations agree exactly on every count and byte total.
+    rng = np.random.default_rng(seed + 10_000)
+    for _ in range(3):
+        order = rng.permutation(len(parts))
+        shuffled = parts[order[0]].copy()
+        for index in order[1:]:
+            shuffled.merge(parts[index])
+        total = shuffled.statistics().grand_total()
+        assert total.references == expect.references
+        assert total.bytes_transferred == expect.bytes_transferred
+        for key, cell in whole.cells().items():
+            other = shuffled.cells()[key]
+            assert other.references == cell.references
+            assert other.bytes_transferred == cell.bytes_transferred
+            assert other.size_moments.count == cell.size_moments.count
+
+
+def test_buggy_moments_merge_trips_the_law(invariants_on, monkeypatch):
+    """Simulate the regression the law exists to catch: a moments merge
+    that forgets to fold the other side's mean is order-dependent, and
+    the forward/backward comparison must flag it."""
+    from repro.util import stats as stats_mod
+
+    parts, _ = _parts(1)  # built with the real merge
+
+    def buggy_merge(self, other):
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self  # mean/m2 silently kept from self: order-dependent
+
+    monkeypatch.setattr(stats_mod.StreamingMoments, "merge", buggy_merge)
+    with pytest.raises(InvariantViolation) as excinfo:
+        check_merge_order_independence(parts)
+    assert excinfo.value.law == "merge-order-moments"
+
+
+def test_single_part_is_identity():
+    parts, whole = _parts(3)
+    merged = check_merge_order_independence(parts[:1])
+    assert (
+        merged.statistics().grand_total().references
+        == parts[0].statistics().grand_total().references
+    )
+
+
+def test_empty_parts_rejected():
+    with pytest.raises(ValueError):
+        check_merge_order_independence([])
