@@ -24,13 +24,38 @@ from repro.core.study import Study, StudyConfig
 from repro.workload.config import WorkloadConfig
 
 
-def dump_bench_timings(timings: dict) -> None:
-    """Merge measured timings into the ``REPRO_BENCH_TIMINGS`` JSON dump.
+def bench_runs_root() -> str:
+    """The runs root benchmark RunRecords land in.
 
-    The one shared sink every throughput benchmark reports through (CI
-    uploads the file as a build artifact); a no-op when the variable is
-    unset.
+    ``REPRO_RUNS_DIR`` overrides (CI points it at the sweep runs root so
+    one ``repro runs index`` covers everything); the default is a
+    git-ignored ``.runs/`` at the repo root, so local bench invocations
+    accumulate a trajectory without any setup.
     """
+    root = os.environ.get("REPRO_RUNS_DIR")
+    if root:
+        return root
+    return os.path.join(os.path.dirname(os.path.dirname(__file__)), ".runs")
+
+
+def dump_bench_timings(timings: dict, configs: dict = None) -> None:
+    """Report measured timings: registry RunRecords + the legacy sink.
+
+    The one shared sink every throughput benchmark reports through.
+    Each top-level ``{benchmark: payload}`` entry becomes one bench-kind
+    RunRecord under :func:`bench_runs_root` (the substrate of ``repro
+    runs trajectory``); ``configs`` optionally carries a per-benchmark
+    config dict recorded alongside.  When ``REPRO_BENCH_TIMINGS`` names
+    a file, the timings also merge into that JSON dump (CI uploads it as
+    a build artifact).
+    """
+    from repro.registry import record_bench_run
+
+    root = bench_runs_root()
+    for benchmark, payload in timings.items():
+        record_bench_run(
+            root, benchmark, payload, config=(configs or {}).get(benchmark)
+        )
     path = os.environ.get("REPRO_BENCH_TIMINGS")
     if not path:
         return

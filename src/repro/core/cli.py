@@ -11,7 +11,8 @@ Subcommands::
     bench      cold-generation benchmark + per-stage profile table
     trace      columnar trace-store utilities (info / import / verify)
     scenario   declarative workloads (list / show / run / compare)
-    runs       checkpointed sweep runs (list / show)
+    runs       experiment registry (list / show / index / query /
+               compare / promote / trajectory)
     serve      crash-recoverable HTTP replay service
     session    client for a running service (submit / feed / metrics / ...)
     verify     cross-engine differential checker + violation-bundle replay
@@ -218,47 +219,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _resolve_run(runs_root: str, name: str) -> Optional[dict]:
-    """A run record by directory name, config-hash prefix, or unique match."""
-    from repro.engine import list_runs
+    """A run entry by directory name, run/config-hash prefix, or unique match."""
+    from repro.registry.record import scan_runs_root
 
-    runs = list_runs(runs_root)
+    entries = scan_runs_root(runs_root)
     matches = [
-        run
-        for run in runs
-        if run["name"] == name
-        or (run["config_hash"] or "").startswith(name)
-        or run["name"] == f"sweep-{name}"
+        entry
+        for entry in entries
+        if entry["name"] == name
+        or (entry["config_hash"] or "").startswith(name)
+        or (entry["run_hash"] or "").startswith(name)
+        or entry["name"] == f"sweep-{name}"
     ]
     return matches[0] if len(matches) == 1 else None
 
 
 def _cmd_runs_list(args: argparse.Namespace) -> int:
     from repro.analysis.render import TextTable
-    from repro.engine import list_runs
+    from repro.registry.record import scan_runs_root
 
-    runs = list_runs(args.runs_dir)
-    _cmd_runs_warn(runs)
-    runs = [run for run in runs if not run.get("corrupt")]
-    if not runs:
+    entries = scan_runs_root(args.runs_dir)
+    _cmd_runs_warn(entries)
+    entries = [entry for entry in entries if not entry.get("corrupt")]
+    if not entries:
         print(f"no runs under {args.runs_dir}")
         return 0
     table = TextTable(
-        ["run", "status", "tasks", "rows", "failed", "retries"],
-        title=f"Checkpointed runs in {args.runs_dir}",
+        ["run", "kind", "status", "tasks", "rows", "failed", "retries"],
+        title=f"Runs in {args.runs_dir}",
     )
-    for run in runs:
-        summary = run["summary"] or {}
+    for entry in entries:
+        summary = entry.get("summary") or {}
         n_tasks = summary.get("n_tasks")
-        tasks = (
-            f"{run['checkpointed']}/{n_tasks}"
-            if n_tasks is not None
-            else str(run["checkpointed"])
-        )
+        if n_tasks is not None:
+            tasks = f"{entry['checkpointed']}/{n_tasks}"
+        elif entry.get("checkpointed"):
+            tasks = str(entry["checkpointed"])
+        else:
+            tasks = "-"
+        rows = entry["rows"]
+        if rows is None:
+            rows = summary.get("rows", "-")
         table.add_row(
-            run["name"],
-            run["status"],
+            entry["name"],
+            entry.get("kind") or "?",
+            entry["status"],
             tasks,
-            str(summary.get("rows", "-")),
+            str(rows),
             str(len(summary.get("failed_cells", []) or []) or "-"),
             str(summary.get("retries", "-")),
         )
@@ -286,9 +293,18 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
             f"({', '.join(run['corrupt'])}); showing what remains",
             file=sys.stderr,
         )
+    from repro.registry.record import load_run_record
+
     summary = run["summary"]
+    record = load_run_record(run["path"])
     print(f"run:     {run['name']}")
     print(f"path:    {run['path']}")
+    print(
+        f"kind:    {run.get('kind') or 'sweep'} "
+        f"(schema v{run.get('schema_version', 1)})"
+    )
+    if run.get("run_hash"):
+        print(f"hash:    {run['run_hash']}")
     print(f"config:  {run['config_hash']}")
     print(f"status:  {run['status']}")
     if summary is not None:
@@ -300,7 +316,12 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
             f"{summary.get('retries', '?')} retries"
         )
     if args.json:
-        print(json.dumps(summary, indent=1, sort_keys=True))
+        # v2 dirs dump the full registry record; bare v1 dirs keep the
+        # PR-7 behavior of dumping run_summary.json.
+        if record is not None and run.get("run_hash"):
+            print(json.dumps(record.to_payload(), indent=1, sort_keys=True))
+        else:
+            print(json.dumps(summary, indent=1, sort_keys=True))
         return 0
     records = load_checkpoints(run["path"])
     if records:
@@ -308,20 +329,159 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
             ["task", "status", "attempts", "rows", "seconds"],
             title=f"Checkpointed tasks ({len(records)})",
         )
-        for key, record in sorted(records.items()):
-            task = record.get("task") or {}
+        for key, task_record in sorted(records.items()):
+            task = task_record.get("task") or {}
             label = (
                 f"{task.get('scenario') or 'classic'}:"
                 f"s{task.get('seed')}:{task.get('policy')}"
             )
             table.add_row(
                 f"{label} [{key[:8]}]",
-                str(record.get("status", "?")),
-                str(record.get("attempts", "?")),
-                str(len(record.get("rows", []) or [])),
-                f"{record.get('elapsed_seconds', 0.0):.2f}",
+                str(task_record.get("status", "?")),
+                str(task_record.get("attempts", "?")),
+                str(len(task_record.get("rows", []) or [])),
+                f"{task_record.get('elapsed_seconds', 0.0):.2f}",
             )
         print(table.render())
+    elif record is not None and record.rows:
+        table = TextTable(
+            ["cell", "metrics"],
+            title=f"Recorded cells ({len(record.rows)})",
+        )
+        for row in record.rows[:40]:
+            table.add_row(
+                str(row.get("cell", "?")),
+                str(len(row.get("values", {}) or {})),
+            )
+        print(table.render())
+        if len(record.rows) > 40:
+            print(f"  ... {len(record.rows) - 40} more cells")
+    return 0
+
+
+def _registry_command(command):
+    """Wrap a registry verb: RegistryError becomes a clean exit 2."""
+    import functools
+
+    @functools.wraps(command)
+    def wrapped(args: argparse.Namespace) -> int:
+        from repro.registry import RegistryError
+
+        try:
+            return command(args)
+        except RegistryError as exc:
+            print(f"runs {args.runs_command}: {exc}", file=sys.stderr)
+            return 2
+
+    return wrapped
+
+
+@_registry_command
+def _cmd_runs_index(args: argparse.Namespace) -> int:
+    from repro.registry import RegistryIndex, db_path_for
+
+    with RegistryIndex.open(db_path_for(args.runs_dir, args.db)) as index:
+        stats = index.index_root(args.runs_dir)
+    for name in stats["skipped"]:
+        print(
+            f"warning: skipping corrupt run dir {name}", file=sys.stderr
+        )
+    kinds = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(stats["kinds"].items())
+    ) or "none"
+    print(
+        f"indexed {stats['indexed']} new + {stats['replaced']} replaced + "
+        f"{stats['unchanged']} unchanged run(s) ({kinds}) "
+        f"into {db_path_for(args.runs_dir, args.db)}"
+    )
+    return 0
+
+
+@_registry_command
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.render import TextTable
+    from repro.registry import RegistryIndex, db_path_for
+
+    with RegistryIndex.open_existing(
+        db_path_for(args.runs_dir, args.db)
+    ) as index:
+        runs = index.runs(kind=args.kind, status=args.status)
+        baselines = {
+            row["run_hash"]: row["name"] for row in index.baselines()
+        }
+    if args.json:
+        print(json.dumps(runs, indent=1, sort_keys=True))
+        return 0
+    if not runs:
+        print("no indexed runs match")
+        return 0
+    table = TextTable(
+        ["run", "kind", "status", "cells", "schema", "baseline"],
+        title=f"Indexed runs ({len(runs)})",
+    )
+    for run in runs:
+        table.add_row(
+            run["run_hash"][:12],
+            run["kind"],
+            run["status"],
+            str(run["n_cells"]),
+            f"v{run['schema_version']}",
+            baselines.get(run["run_hash"], "-"),
+        )
+    print(table.render())
+    return 0
+
+
+@_registry_command
+def _cmd_runs_compare(args: argparse.Namespace) -> int:
+    from repro.registry import (
+        RegistryIndex, Tolerance, compare_runs, db_path_for,
+    )
+
+    with RegistryIndex.open_existing(
+        db_path_for(args.runs_dir, args.db)
+    ) as index:
+        if args.right is not None:
+            left_hash = index.resolve(args.left)["run_hash"]
+            right_hash = index.resolve(args.right)["run_hash"]
+        else:
+            # One run named: gate it against the promoted baseline.
+            left_hash = index.baseline(args.baseline)["run_hash"]
+            right_hash = index.resolve(args.left)["run_hash"]
+        result = compare_runs(
+            index, left_hash, right_hash,
+            Tolerance(rel=args.rel_tol, abs=args.abs_tol),
+        )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+@_registry_command
+def _cmd_runs_promote(args: argparse.Namespace) -> int:
+    from repro.registry import RegistryIndex, db_path_for
+
+    with RegistryIndex.open_existing(
+        db_path_for(args.runs_dir, args.db)
+    ) as index:
+        run = index.resolve(args.run)
+        promoted = index.promote(args.name, run["run_hash"])
+    print(
+        f"promoted {promoted['run_hash']} as baseline "
+        f"{promoted['name']!r}"
+    )
+    return 0
+
+
+@_registry_command
+def _cmd_runs_trajectory(args: argparse.Namespace) -> int:
+    from repro.registry import RegistryIndex, db_path_for, render_trajectory
+
+    with RegistryIndex.open_existing(
+        db_path_for(args.runs_dir, args.db)
+    ) as index:
+        print(render_trajectory(index, args.benchmark, metric=args.metric))
     return 0
 
 
@@ -361,11 +521,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
         _ = dense.mss_metrics
         stages["replay"] = time.perf_counter() - start
     start = time.perf_counter()
+    results = []
     for exp_id in experiment_ids():
         study = dense if needs_dense_study(exp_id) else base
         result = run_experiment(exp_id, study)
+        results.append(result)
         print(result.render())
         print()
+    if getattr(args, "run_dir", None) is not None:
+        from repro.registry import record_report_run
+
+        run_dir = record_report_run(
+            args.run_dir,
+            results,
+            config={
+                "scale": args.scale, "seed": args.seed, "days": args.days,
+            },
+            wall_seconds=time.perf_counter() - start,
+        )
+        print(f"recorded run: {run_dir}")
     if profile:
         stages["analyze"] = time.perf_counter() - start
         total = sum(stages.values())
@@ -818,6 +992,10 @@ def _cmd_verify_diff(args: argparse.Namespace) -> int:
         Path(args.output).write_text(
             json.dumps(report, indent=1, sort_keys=True) + "\n"
         )
+    if getattr(args, "run_dir", None) is not None:
+        from repro.registry import record_verify_run
+
+        print(f"recorded run: {record_verify_run(args.run_dir, report)}")
     ok = report["ok"]
     verdict = "all agree" if ok else f"{len(report['failures'])} mismatch(es)"
     print(
@@ -874,6 +1052,10 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     path = write_report(report, Path(args.report))
     print(render_report(report))
     print(f"report: {path}")
+    if getattr(args, "run_dir", None) is not None:
+        from repro.registry import record_chaos_run
+
+        print(f"recorded run: {record_chaos_run(args.run_dir, report)}")
     return 0 if report["ok"] else 1
 
 
@@ -1021,6 +1203,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed store cache for the base study's "
                    "batch streams")
+    p.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="record the paper-vs-measured comparisons as a "
+                   "registry run under DIR")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -1104,23 +1289,97 @@ def build_parser() -> argparse.ArgumentParser:
     t.set_defaults(func=_cmd_trace_import)
 
     p = sub.add_parser(
-        "runs", help="inspect checkpointed sweep runs (list / show)"
+        "runs",
+        help="the experiment registry: recorded runs "
+        "(list / show / index / query / compare / promote / trajectory)",
     )
     runs_sub = p.add_subparsers(dest="runs_command", required=True)
 
+    def _add_db_arg(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--db", default=None, metavar="FILE",
+            help="registry database path "
+            "(default: <runs_dir>/registry.sqlite)",
+        )
+
     r = runs_sub.add_parser("list", help="table of runs under a runs dir")
-    r.add_argument("runs_dir", help="runs root (the sweep --run-dir)")
+    r.add_argument("runs_dir", help="runs root (the --run-dir)")
     r.set_defaults(func=_cmd_runs_list)
 
     r = runs_sub.add_parser(
-        "show", help="one run's summary and per-task checkpoint table"
+        "show", help="one run's record, summary, and checkpoint table"
     )
-    r.add_argument("runs_dir", help="runs root (the sweep --run-dir)")
-    r.add_argument("run", help="run directory name or config-hash prefix")
+    r.add_argument("runs_dir", help="runs root (the --run-dir)")
+    r.add_argument("run", help="run directory name or run/config-hash prefix")
     r.add_argument("--json", action="store_true",
-                   help="dump the run summary as JSON instead of the "
-                   "task table")
+                   help="dump the run record (v2) or summary (v1) as JSON "
+                   "instead of the task table")
     r.set_defaults(func=_cmd_runs_show)
+
+    r = runs_sub.add_parser(
+        "index",
+        help="fold every run dir under the root into registry.sqlite "
+        "(idempotent, content-addressed by run hash)",
+    )
+    r.add_argument("runs_dir", help="runs root to index")
+    _add_db_arg(r)
+    r.set_defaults(func=_cmd_runs_index)
+
+    r = runs_sub.add_parser(
+        "query", help="table of indexed runs, filterable by kind/status"
+    )
+    r.add_argument("runs_dir", help="runs root (locates the database)")
+    r.add_argument("--kind", default=None,
+                   help="only runs of this kind (sweep/bench/report/...)")
+    r.add_argument("--status", default=None,
+                   help="only runs with this status")
+    r.add_argument("--json", action="store_true",
+                   help="dump matching runs as JSON")
+    _add_db_arg(r)
+    r.set_defaults(func=_cmd_runs_query)
+
+    r = runs_sub.add_parser(
+        "compare",
+        help="cell-by-cell diff of two indexed runs (or one run vs a "
+        "promoted baseline); exit 1 on out-of-tolerance cells",
+    )
+    r.add_argument("runs_dir", help="runs root (locates the database)")
+    r.add_argument("left", help="reference run (or the candidate, with "
+                   "--baseline)")
+    r.add_argument("right", nargs="?", default=None,
+                   help="candidate run; omitted = compare LEFT against "
+                   "the --baseline")
+    r.add_argument("--baseline", default="default", metavar="NAME",
+                   help="baseline name used when RIGHT is omitted "
+                   "(default: 'default')")
+    r.add_argument("--rel-tol", type=float, default=0.0,
+                   help="relative tolerance per metric (default 0: exact)")
+    r.add_argument("--abs-tol", type=float, default=0.0,
+                   help="absolute tolerance per metric (default 0: exact)")
+    _add_db_arg(r)
+    r.set_defaults(func=_cmd_runs_compare)
+
+    r = runs_sub.add_parser(
+        "promote", help="pin one indexed run as a named baseline"
+    )
+    r.add_argument("runs_dir", help="runs root (locates the database)")
+    r.add_argument("run", help="run to promote (hash prefix or dir name)")
+    r.add_argument("--name", default="default",
+                   help="baseline name (default: 'default')")
+    _add_db_arg(r)
+    r.set_defaults(func=_cmd_runs_promote)
+
+    r = runs_sub.add_parser(
+        "trajectory",
+        help="perf history of one benchmark across every indexed bench run",
+    )
+    r.add_argument("runs_dir", help="runs root (locates the database)")
+    r.add_argument("benchmark", help="benchmark name (e.g. stackdist_sweep)")
+    r.add_argument("--metric", default=None,
+                   help="metric to trend (default: speedup, else the "
+                   "benchmark's first metric)")
+    _add_db_arg(r)
+    r.set_defaults(func=_cmd_runs_trajectory)
 
     p = sub.add_parser(
         "serve",
@@ -1237,6 +1496,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default 0)")
     v.add_argument("--output", default=None, metavar="FILE",
                    help="also write the full JSON report here")
+    v.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="record the differential report as a registry run "
+                   "under DIR")
     v.set_defaults(func=_cmd_verify_diff)
 
     v = verify_sub.add_parser(
@@ -1269,6 +1531,8 @@ def build_parser() -> argparse.ArgumentParser:
                    "temporary directory")
     c.add_argument("--report", default="chaos_report.json", metavar="FILE",
                    help="report path (default chaos_report.json)")
+    c.add_argument("--run-dir", default=None, metavar="DIR",
+                   help="record the soak report as a registry run under DIR")
     c.set_defaults(func=_cmd_chaos_run)
 
     c = chaos_sub.add_parser(

@@ -638,6 +638,7 @@ def list_runs(runs_root: Union[str, Path]) -> List[dict]:
             "name": path.name,
             "path": str(path),
             "config_hash": config.get("config_hash"),
+            "created_at": config.get("created_at"),
             "checkpointed": checkpointed,
             "status": (
                 "corrupt" if corrupt

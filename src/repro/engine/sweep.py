@@ -603,6 +603,56 @@ def _summary_payload(
     }
 
 
+def _write_sweep_record(
+    config: SweepConfig, run_dir: Path, result: SweepResult
+) -> None:
+    """Emit the registry's ``run_record.json`` next to the v1 artifacts.
+
+    The record is the run's registry identity (``repro runs index``
+    folds it into ``registry.sqlite``); the v1 files stay authoritative
+    for resume.  ``created_at`` comes from ``config.json`` so resuming
+    a run updates the same logical run rather than minting a new one.
+    Registry imports stay local: :mod:`repro.registry.record` imports
+    this package's sibling :mod:`repro.engine.resilience`.
+    """
+    from repro.registry.record import (
+        RunRecord,
+        default_code_versions,
+        sweep_rows_to_record_rows,
+        write_run_record,
+    )
+
+    created_at = None
+    try:
+        with open(run_dir / "config.json", "r", encoding="utf-8") as handle:
+            created_at = json.load(handle).get("created_at")
+    except (OSError, json.JSONDecodeError, AttributeError):
+        pass
+    record = RunRecord(
+        kind="sweep",
+        config=dataclasses.asdict(config),
+        config_hash=sweep_config_hash(config),
+        rows=sweep_rows_to_record_rows(
+            [row_to_dict(row) for row in result.rows]
+        ),
+        metrics={
+            "prepare_seconds": result.prepare_seconds,
+            "replay_seconds": result.replay_seconds,
+            "stack_cells": result.stack_cells,
+            "des_cells": result.des_cells,
+            "retries": result.retries,
+            "tasks_executed": result.tasks_executed,
+            "tasks_resumed": result.tasks_resumed,
+            "tasks_failed": result.tasks_failed,
+        },
+        status="degraded" if result.failed_cells else "complete",
+        created_at=created_at,
+        wall_seconds=result.elapsed_seconds,
+        code_versions=default_code_versions(),
+    )
+    write_run_record(run_dir, record)
+
+
 def run_sweep(config: SweepConfig) -> SweepResult:
     """Run the full grid; parallel across cells when ``workers > 1``.
 
@@ -773,6 +823,7 @@ def _run_sweep(config: SweepConfig) -> SweepResult:
                 prepare_seconds=result.prepare_seconds,
                 replay_seconds=result.replay_seconds,
             ))
+            _write_sweep_record(config, run_dir, result)
         return result
     except KeyboardInterrupt:
         # The supervisor already terminated (not joined) its pool on the

@@ -1,0 +1,425 @@
+"""The versioned ``RunRecord``: one schema for every run artifact.
+
+PR 7 gave sweeps a content-addressed run directory (``config.json`` +
+``tasks/*.json`` + ``run_summary.json``); since then the repo has grown
+four more run-producing surfaces -- ``report``, ``bench``, ``chaos
+run``, ``verify diff`` -- each dumping its own ad-hoc JSON.  This module
+generalizes the run-dir format: every surface emits one
+``run_record.json`` (schema v2) describing *what kind* of run it was,
+*which configuration* produced it, *what it measured* (per-cell rows +
+free-form metric payloads), and *how it ended* -- so the SQLite index
+(:mod:`repro.registry.index`) can fold heterogeneous runs into one
+queryable ledger.
+
+Two compatibility contracts, both pinned by tests:
+
+* **Backward:** a v1 (PR-7) sweep run-dir with no ``run_record.json``
+  still loads -- :func:`load_run_record` synthesizes a v2 record from
+  ``config.json`` + ``run_summary.json`` + the checkpointed task rows,
+  so two years of old run dirs index cleanly.
+* **Forward:** unknown top-level JSON keys written by a future schema
+  are preserved in :attr:`RunRecord.extra` and round-trip through load,
+  re-write, and re-index untouched.
+
+Identity is content-addressed: :meth:`RunRecord.run_hash` digests the
+canonical JSON payload, so a byte-identical record has one identity no
+matter where it sits on disk, and re-indexing is idempotent by
+construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.engine.resilience import (
+    list_runs as _list_sweep_runs,
+    load_checkpoints,
+    load_run_summary,
+    write_json_atomic,
+)
+
+#: ``format`` marker inside every v2 run record.
+RECORD_FORMAT = "repro-run-record"
+
+#: Current schema version.  v1 is the PR-7 sweep run-dir layout (no
+#: ``run_record.json`` at all); bump this when a field changes meaning.
+RECORD_VERSION = 2
+
+#: The record's filename inside a run directory.
+RECORD_FILENAME = "run_record.json"
+
+#: Run kinds the index knows how to project into typed tables.  Unknown
+#: kinds still index (runs + cells); they just get no special views.
+KNOWN_KINDS = ("sweep", "bench", "report", "chaos", "verify")
+
+#: Fields of the serialized payload that belong to the schema; anything
+#: else round-trips through :attr:`RunRecord.extra`.
+_SCHEMA_FIELDS = frozenset({
+    "format", "schema_version", "kind", "config", "config_hash", "rows",
+    "metrics", "status", "created_at", "wall_seconds", "code_versions",
+})
+
+
+def canonical_json(payload: Any) -> str:
+    """Key-sorted, separator-stable JSON: the hashing wire format."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def default_code_versions() -> Dict[str, Any]:
+    """The code versions that determine a run's numbers."""
+    from repro import __version__
+    from repro.engine.store import STORE_FORMAT_VERSION
+    from repro.workload.generator import GENERATOR_VERSION
+
+    return {
+        "repro": __version__,
+        "generator": GENERATOR_VERSION,
+        "store_format": STORE_FORMAT_VERSION,
+    }
+
+
+def cell_key(
+    scenario: Optional[str], seed: int, policy: str, fraction: float
+) -> str:
+    """Canonical cell id for one sweep grid cell.
+
+    ``repr`` keeps the capacity fraction exact (shortest round-trip
+    float), so two runs of the same grid always name cells identically.
+    """
+    return f"{scenario or 'classic'}:s{seed}:{policy}:{fraction!r}"
+
+
+def flatten_metrics(payload: Any, prefix: str = "") -> Dict[str, Any]:
+    """Nested metric payload -> flat ``{dotted.name: scalar}`` mapping.
+
+    Non-scalar leaves that are not dicts (lists, None) are dropped: the
+    flat form feeds the SQLite ``cells``/``bench`` tables, which hold
+    comparable scalars only.  The full nested payload stays available in
+    the record itself.
+    """
+    flat: Dict[str, Any] = {}
+    if isinstance(payload, dict):
+        for name in sorted(payload):
+            flat.update(flatten_metrics(payload[name], f"{prefix}{name}."))
+    elif prefix and isinstance(payload, (bool, int, float, str)):
+        flat[prefix[:-1]] = payload
+    return flat
+
+
+@dataclass
+class RunRecord:
+    """One run of any kind, in the registry's common shape."""
+
+    #: ``sweep`` | ``bench`` | ``report`` | ``chaos`` | ``verify`` (open set).
+    kind: str
+    #: The result-determining configuration (JSON-stable dict).
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: Per-cell results.  Each row is a dict with a ``cell`` key naming
+    #: the cell, a ``values`` dict of comparable scalars, and optional
+    #: identity columns (``scenario``/``seed``/``policy``/
+    #: ``capacity_fraction``) plus a non-compared ``meta`` dict.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Free-form JSON metric payloads (e.g. the full nested bench
+    #: timings, keyed by benchmark name).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: ``complete`` | ``degraded`` | ``interrupted`` | ``failed`` | ...
+    status: str = "complete"
+    #: Wall-clock the run started/was recorded (epoch seconds).
+    created_at: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    schema_version: int = RECORD_VERSION
+    #: Content hash of ``config`` (precomputed by emitters that already
+    #: have one, e.g. the sweep's ``sweep_config_hash``).
+    config_hash: Optional[str] = None
+    code_versions: Dict[str, Any] = field(default_factory=dict)
+    #: Unknown top-level payload keys, preserved verbatim (forward
+    #: compatibility: a v3 writer's extra fields survive a v2 re-index).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: Directory the record was loaded from (not serialized, not hashed).
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("a RunRecord needs a kind")
+        if self.config_hash is None:
+            canon = canonical_json(self.config)
+            self.config_hash = hashlib.sha256(
+                canon.encode("utf-8")
+            ).hexdigest()[:16]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The serialized JSON form (schema fields + preserved extras)."""
+        payload = {
+            "format": RECORD_FORMAT,
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "rows": self.rows,
+            "metrics": self.metrics,
+            "status": self.status,
+            "created_at": self.created_at,
+            "wall_seconds": self.wall_seconds,
+            "code_versions": self.code_versions,
+        }
+        for name, value in self.extra.items():
+            payload.setdefault(name, value)
+        return payload
+
+    def run_hash(self) -> str:
+        """Content address of this run: a digest of the full payload."""
+        canon = canonical_json(self.to_payload())
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], path: Optional[str] = None
+    ) -> "RunRecord":
+        """Rebuild a record; unknown top-level keys land in ``extra``."""
+        extra = {
+            name: value
+            for name, value in payload.items()
+            if name not in _SCHEMA_FIELDS
+        }
+        return cls(
+            kind=payload["kind"],
+            config=payload.get("config", {}) or {},
+            rows=payload.get("rows", []) or [],
+            metrics=payload.get("metrics", {}) or {},
+            status=payload.get("status", "complete"),
+            created_at=payload.get("created_at"),
+            wall_seconds=payload.get("wall_seconds"),
+            schema_version=int(payload.get("schema_version", RECORD_VERSION)),
+            config_hash=payload.get("config_hash"),
+            code_versions=payload.get("code_versions", {}) or {},
+            extra=extra,
+            path=path,
+        )
+
+    def cells(self) -> Dict[str, Dict[str, Any]]:
+        """``{cell: {metric: value}}`` -- the comparable view of the run."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in self.rows:
+            cell = str(row.get("cell", ""))
+            values = row.get("values", {}) or {}
+            out.setdefault(cell, {}).update(values)
+        return out
+
+
+def sweep_rows_to_record_rows(
+    row_dicts: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """SweepRow checkpoint dicts -> registry rows, value-preserving.
+
+    The ``values`` dict carries every metrics counter plus the cell's
+    ``capacity_bytes`` exactly as the checkpoint stored them (JSON
+    floats round-trip, ints stay ints), so the index can later hand the
+    identical numbers back.  ``attempts``/``status`` are execution
+    metadata, not results: they go under ``meta`` where ``compare``
+    never looks (a retried cell is not a regression).
+    """
+    rows = []
+    for data in row_dicts:
+        values = dict(data.get("metrics", {}))
+        values["capacity_bytes"] = data["capacity_bytes"]
+        rows.append({
+            "cell": cell_key(
+                data.get("scenario"), data["seed"], data["policy"],
+                data["capacity_fraction"],
+            ),
+            "scenario": data.get("scenario"),
+            "seed": data["seed"],
+            "policy": data["policy"],
+            "capacity_fraction": data["capacity_fraction"],
+            "values": values,
+            "meta": {
+                "attempts": data.get("attempts", 1),
+                "status": data.get("status", "ok"),
+            },
+        })
+    rows.sort(key=lambda row: row["cell"])
+    return rows
+
+
+def write_run_record(
+    run_dir: Union[str, Path], record: RunRecord
+) -> Path:
+    """Persist one record atomically; returns the record path."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / RECORD_FILENAME
+    write_json_atomic(path, record.to_payload())
+    record.path = str(run_dir)
+    return path
+
+
+def new_run_dir(
+    runs_root: Union[str, Path], record: RunRecord
+) -> Path:
+    """Write ``record`` into its content-addressed dir under the root.
+
+    The directory is ``<root>/<kind>-<run_hash>``: a byte-identical
+    re-run lands in the same place (and is therefore one run), while any
+    change of config, result, or timestamp makes a new one.
+    """
+    run_dir = Path(runs_root) / f"{record.kind}-{record.run_hash()}"
+    write_run_record(run_dir, record)
+    return run_dir
+
+
+# ---------------------------------------------------------------------------
+# v1 (PR-7 sweep run-dir) synthesis
+
+
+def synthesize_v1_sweep_record(
+    run_dir: Union[str, Path]
+) -> Optional[RunRecord]:
+    """A v2 record view of a PR-7 sweep run directory, or None.
+
+    Rows come from the checkpointed task records (``tasks/*.json``), the
+    config and creation time from ``config.json``, and status/wall-time
+    from ``run_summary.json`` when present (an interrupted or
+    in-progress run synthesizes with whatever has landed so far).
+    """
+    run_dir = Path(run_dir)
+    config_path = run_dir / "config.json"
+    try:
+        with open(config_path, "r", encoding="utf-8") as handle:
+            config_doc = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(config_doc, dict):
+        return None
+    summary = load_run_summary(run_dir) or {}
+    row_dicts = [
+        row
+        for _, task_record in sorted(load_checkpoints(run_dir).items())
+        if task_record.get("status") in ("ok", "retried")
+        for row in task_record.get("rows", []) or []
+    ]
+    wall = None
+    if "prepare_seconds" in summary or "replay_seconds" in summary:
+        wall = (summary.get("prepare_seconds") or 0.0) + (
+            summary.get("replay_seconds") or 0.0
+        )
+    extra_summary = {
+        name: summary[name]
+        for name in ("n_tasks", "tasks_executed", "tasks_resumed",
+                     "tasks_failed", "retries", "failed_cells")
+        if name in summary
+    }
+    return RunRecord(
+        kind="sweep",
+        config=config_doc.get("config", {}) or {},
+        config_hash=config_doc.get("config_hash"),
+        rows=sweep_rows_to_record_rows(row_dicts),
+        status=summary.get("status", "in-progress"),
+        created_at=config_doc.get("created_at"),
+        wall_seconds=wall,
+        schema_version=1,
+        extra={"summary": extra_summary} if extra_summary else {},
+        path=str(run_dir),
+    )
+
+
+def load_run_record(run_dir: Union[str, Path]) -> Optional[RunRecord]:
+    """The run record of one directory: v2 file, or synthesized v1.
+
+    Returns None when the directory holds neither a readable
+    ``run_record.json`` nor a v1 sweep layout -- callers skip-and-warn.
+    """
+    run_dir = Path(run_dir)
+    record_path = run_dir / RECORD_FILENAME
+    if record_path.is_file():
+        try:
+            with open(record_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                return None
+            return RunRecord.from_payload(payload, path=str(run_dir))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            return None
+    return synthesize_v1_sweep_record(run_dir)
+
+
+# ---------------------------------------------------------------------------
+# Runs-root scanning (shared by `repro runs list` and the index)
+
+
+def scan_runs_root(runs_root: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every run directory under the root, deterministically ordered.
+
+    Recognizes both layouts: directories with a ``run_record.json``
+    (any kind) and bare v1 sweep dirs.  Damaged dirs never raise; each
+    entry's ``corrupt`` list names the unreadable files so the CLI can
+    warn and keep going.  Ordering is created-at then run hash (name as
+    the final tie-break), so ``repro runs list`` is stable no matter
+    what order the filesystem returns.
+    """
+    runs_root = Path(runs_root)
+    if not runs_root.is_dir():
+        return []
+    sweep_records = {
+        rec["name"]: rec for rec in _list_sweep_runs(runs_root)
+    }
+    entries: List[Dict[str, Any]] = []
+    for path in sorted(runs_root.iterdir()):
+        if not path.is_dir():
+            continue
+        record_path = path / RECORD_FILENAME
+        v1 = sweep_records.get(path.name)
+        if not record_path.is_file() and v1 is None:
+            continue  # not a run dir at all
+        entry: Dict[str, Any] = {
+            "name": path.name,
+            "path": str(path),
+            "kind": "sweep" if v1 is not None else None,
+            "run_hash": None,
+            "config_hash": (v1 or {}).get("config_hash"),
+            "created_at": None,
+            "schema_version": 1,
+            "status": (v1 or {}).get("status", "in-progress"),
+            "checkpointed": (v1 or {}).get("checkpointed", 0),
+            "rows": None,
+            "summary": (v1 or {}).get("summary"),
+            "corrupt": list((v1 or {}).get("corrupt", [])),
+        }
+        if record_path.is_file():
+            record = load_run_record(path)
+            if record is None:
+                entry["corrupt"].append(RECORD_FILENAME)
+                entry["status"] = "corrupt"
+            else:
+                entry.update({
+                    "kind": record.kind,
+                    "run_hash": record.run_hash(),
+                    "config_hash": record.config_hash,
+                    "created_at": record.created_at,
+                    "schema_version": record.schema_version,
+                    "rows": len(record.rows),
+                })
+                # The record is the durable word on how the run ended;
+                # v1 config/summary damage still warns but does not
+                # override a readable record's status.
+                if not entry["corrupt"]:
+                    entry["status"] = record.status
+        elif v1 is not None:
+            # created_at lives in config.json for v1 dirs.
+            entry["created_at"] = v1.get("created_at")
+        entries.append(entry)
+    entries.sort(key=lambda e: (
+        e["created_at"] if e["created_at"] is not None else 0.0,
+        e["run_hash"] or e["config_hash"] or "",
+        e["name"],
+    ))
+    return entries
+
+
+def utcnow() -> float:
+    """Epoch seconds; one seam for tests that pin record timestamps."""
+    return time.time()
